@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"fairrank/internal/datagen"
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+)
+
+// compas returns the normalized COMPAS-like dataset truncated to n items,
+// projected onto the first d scoring attributes in the paper's order.
+func compas(n, d int, seed int64) *dataset.Dataset {
+	full, err := datagen.CompasNormalized(n, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := full.Project(datagen.CompasScoring[:d]...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}
+
+// defaultOracle is the paper's default fairness model: at most 60% (the
+// dataset share of ~50% plus 10%) African-Americans among the top 30%.
+func defaultOracle(ds *dataset.Dataset) fairness.Oracle {
+	o, err := fairness.MaxShare(ds, "race", "African-American", 0.30, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}
+
+// randomWeights draws a uniform random non-negative weight vector.
+func randomWeights(r *rand.Rand, d int) geom.Vector {
+	w := make(geom.Vector, d)
+	for k := range w {
+		w[k] = r.Float64() + 1e-3
+	}
+	return w
+}
+
+// orderTime measures the average wall time of ranking the dataset (the
+// baseline every online algorithm is compared against in §6.3).
+func orderTime(ds *dataset.Dataset, queries []geom.Vector) time.Duration {
+	start := time.Now()
+	for _, w := range queries {
+		if _, err := ranking.Order(ds, w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return time.Since(start) / time.Duration(len(queries))
+}
+
+// table prints an aligned table: header row then rows of cells.
+func table(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

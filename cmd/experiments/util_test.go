@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"fairrank/internal/geom"
+	"math/rand"
+)
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "500ns"},
+		{1500 * time.Nanosecond, "1.5µs"},
+		{2500 * time.Microsecond, "2.5ms"},
+		{1500 * time.Millisecond, "1.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCompasHelper(t *testing.T) {
+	ds := compas(50, 3, 1)
+	if ds.N() != 50 || ds.D() != 3 {
+		t.Fatalf("shape %d×%d", ds.N(), ds.D())
+	}
+	if ds.ScoringNames()[0] != "c_days_from_compas" {
+		t.Errorf("attribute order wrong: %v", ds.ScoringNames())
+	}
+	// Normalized values.
+	for j := 0; j < ds.D(); j++ {
+		v := ds.Item(0)[j]
+		if v < 0 || v > 1 {
+			t.Fatalf("unnormalized value %v", v)
+		}
+	}
+	if defaultOracle(ds) == nil {
+		t.Fatal("defaultOracle nil")
+	}
+}
+
+func TestRandomWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := randomWeights(r, 4)
+	if len(w) != 4 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for _, v := range w {
+		if v <= 0 {
+			t.Fatalf("non-positive weight %v", v)
+		}
+	}
+}
+
+func TestOrderTime(t *testing.T) {
+	ds := compas(30, 2, 1)
+	d := orderTime(ds, []geom.Vector{{1, 1}, {0.5, 0.5}})
+	if d <= 0 {
+		t.Errorf("orderTime = %v", d)
+	}
+}

@@ -1,0 +1,282 @@
+// Command fairrank validates and repairs linear ranking functions against a
+// fairness constraint, from the command line.
+//
+// Examples:
+//
+//	# CSV with header; score on gpa,sat; constrain gender=F to ≥40% of top 25%
+//	fairrank -csv applicants.csv -scoring gpa,sat -types gender \
+//	         -min-share gender=F:0.25:0.40 -query 0.5,0.5
+//
+//	# built-in COMPAS-like demo, paper's default oracle, 3 attributes
+//	fairrank -demo compas -d 3 -max-share race=African-American:0.30:0.10 \
+//	         -query 0.4,0.3,0.3
+//
+// The tool prints whether the query is fair and, if not, the closest fair
+// alternative and its angular distance.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fairrank"
+	"fairrank/internal/datagen"
+)
+
+var (
+	csvPath     = flag.String("csv", "", "input CSV file (header row required)")
+	scoring     = flag.String("scoring", "", "comma-separated scoring columns")
+	types       = flag.String("types", "", "comma-separated type (categorical) columns")
+	lowerCols   = flag.String("lower-is-better", "", "scoring columns where lower values are better")
+	demo        = flag.String("demo", "", "use a built-in synthetic dataset: compas or dot")
+	demoN       = flag.Int("n", 500, "demo dataset size")
+	dims        = flag.Int("d", 2, "number of scoring attributes for -demo compas (first d of the paper's list)")
+	maxShare    = flag.String("max-share", "", "constraint attr=group:topFrac:slack — group's top share ≤ dataset share + slack")
+	minShare    = flag.String("min-share", "", "constraint attr=group:topFrac:share — group's top share ≥ share")
+	queryStr    = flag.String("query", "", "comma-separated non-negative weights to validate/repair")
+	interactive = flag.Bool("interactive", false, "read weight vectors from stdin, one per line")
+	mode        = flag.String("mode", "auto", "engine: auto, 2d, exact, approx")
+	cellsN      = flag.Int("cells", 10000, "approximate-mode grid size N")
+	seed        = flag.Int64("seed", 1, "random seed")
+	saveIndex   = flag.String("save-index", "", "write the preprocessed approx index to this file")
+	loadIndex   = flag.String("load-index", "", "load a previously saved approx index instead of preprocessing")
+)
+
+func main() {
+	flag.Parse()
+	ds := loadDataset()
+	oracle := buildOracle(ds)
+	cfg := fairrank.Config{Cells: *cellsN, Seed: *seed}
+	switch *mode {
+	case "auto":
+		cfg.Mode = fairrank.ModeAuto
+	case "2d":
+		cfg.Mode = fairrank.Mode2D
+	case "exact":
+		cfg.Mode = fairrank.ModeExact
+	case "approx":
+		cfg.Mode = fairrank.ModeApprox
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	var designer *fairrank.Designer
+	var err error
+	if *loadIndex != "" {
+		f, ferr := os.Open(*loadIndex)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		designer, err = fairrank.LoadDesigner(f, ds, oracle)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded index from %s\n", *loadIndex)
+	} else {
+		fmt.Fprintf(os.Stderr, "preprocessing %d items × %d attributes...\n", ds.N(), ds.D())
+		designer, err = fairrank.NewDesigner(ds, oracle, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveIndex != "" {
+		f, ferr := os.Create(*saveIndex)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if err := designer.SaveIndex(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "index saved to %s\n", *saveIndex)
+	}
+	if !designer.Satisfiable() {
+		fmt.Println("UNSATISFIABLE: no linear ranking function meets the constraint")
+		os.Exit(1)
+	}
+	if *interactive {
+		runInteractive(designer, ds.D())
+		return
+	}
+	if *queryStr == "" {
+		fmt.Println("satisfiable; pass -query w1,w2,... to validate a function, or -interactive")
+		return
+	}
+	answer(designer, parseWeights(*queryStr, ds.D()))
+}
+
+// runInteractive implements the paper's design loop (§2.1): the user
+// proposes weights, the system approves or proposes an alternative, the
+// user refines, and so on — with interactive response times.
+func runInteractive(designer *fairrank.Designer, d int) {
+	fmt.Printf("enter %d comma-separated weights per line (ctrl-D to quit):\n", d)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := split(line)
+		if len(parts) != d {
+			fmt.Printf("need %d weights, got %d\n", d, len(parts))
+			continue
+		}
+		w := make([]float64, d)
+		ok := true
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil || v < 0 {
+				fmt.Printf("bad weight %q\n", p)
+				ok = false
+				break
+			}
+			w[i] = v
+		}
+		if !ok {
+			continue
+		}
+		start := time.Now()
+		answer(designer, w)
+		fmt.Printf("(answered in %v)\n", time.Since(start).Round(time.Microsecond))
+	}
+}
+
+func answer(designer *fairrank.Designer, w []float64) {
+	s, err := designer.Suggest(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if s.AlreadyFair {
+		fmt.Printf("FAIR: %v satisfies the constraint\n", w)
+		return
+	}
+	fmt.Printf("UNFAIR: %v violates the constraint\n", w)
+	fmt.Printf("closest fair function: %.6f\n", s.Weights)
+	fmt.Printf("angular distance: %.6f rad\n", s.Distance)
+}
+
+func loadDataset() *fairrank.Dataset {
+	switch {
+	case *csvPath != "":
+		if *scoring == "" {
+			log.Fatal("-csv requires -scoring")
+		}
+		ds, err := fairrank.LoadCSVFile(*csvPath, split(*scoring), split(*types))
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm, err := ds.Normalize(split(*lowerCols)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return norm
+	case *demo == "compas":
+		full, err := datagen.CompasNormalized(*demoN, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *dims < 2 || *dims > len(datagen.CompasScoring) {
+			log.Fatalf("-d must be in [2, %d]", len(datagen.CompasScoring))
+		}
+		ds, err := full.Project(datagen.CompasScoring[:*dims]...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ds
+	case *demo == "dot":
+		raw, err := datagen.DOT(*demoN, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := raw.Normalize(datagen.DOTScoring...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ds
+	default:
+		log.Fatal("provide -csv or -demo compas|dot")
+		return nil
+	}
+}
+
+func buildOracle(ds *fairrank.Dataset) fairrank.Oracle {
+	var oracles []fairrank.Oracle
+	if *maxShare != "" {
+		attr, group, frac, slack := parseConstraint(*maxShare)
+		o, err := fairrank.MaxShare(ds, attr, group, frac, slack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+	if *minShare != "" {
+		attr, group, frac, share := parseConstraint(*minShare)
+		o, err := fairrank.MinShare(ds, attr, group, frac, share)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+	if len(oracles) == 0 {
+		log.Fatal("provide at least one of -max-share / -min-share")
+	}
+	return fairrank.AllOf(oracles...)
+}
+
+// parseConstraint parses "attr=group:frac:param".
+func parseConstraint(s string) (attr, group string, frac, param float64) {
+	eq := strings.SplitN(s, "=", 2)
+	if len(eq) != 2 {
+		log.Fatalf("bad constraint %q: want attr=group:topFrac:value", s)
+	}
+	parts := strings.Split(eq[1], ":")
+	if len(parts) != 3 {
+		log.Fatalf("bad constraint %q: want attr=group:topFrac:value", s)
+	}
+	var err1, err2 error
+	frac, err1 = strconv.ParseFloat(parts[1], 64)
+	param, err2 = strconv.ParseFloat(parts[2], 64)
+	if err1 != nil || err2 != nil {
+		log.Fatalf("bad numbers in constraint %q", s)
+	}
+	return eq[0], parts[0], frac, param
+}
+
+func parseWeights(s string, d int) []float64 {
+	parts := split(s)
+	if len(parts) != d {
+		log.Fatalf("query has %d weights, dataset has %d scoring attributes", len(parts), d)
+	}
+	w := make([]float64, d)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v < 0 {
+			log.Fatalf("bad weight %q", p)
+		}
+		w[i] = v
+	}
+	return w
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

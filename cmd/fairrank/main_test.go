@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseConstraint(t *testing.T) {
+	attr, group, frac, param := parseConstraint("race=African-American:0.30:0.10")
+	if attr != "race" || group != "African-American" || frac != 0.30 || param != 0.10 {
+		t.Errorf("parseConstraint = %q %q %v %v", attr, group, frac, param)
+	}
+	// Group names containing '=' after the first are preserved.
+	attr, group, _, _ = parseConstraint("g=a=b:0.5:0.1")
+	if attr != "g" || group != "a=b" {
+		t.Errorf("parseConstraint split = %q %q", attr, group)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	got := split(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("split = %v", got)
+	}
+	if split("") != nil {
+		t.Error("split empty should be nil")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w := parseWeights("0.5,0.25,0.25", 3)
+	if w[0] != 0.5 || w[2] != 0.25 {
+		t.Errorf("parseWeights = %v", w)
+	}
+}

@@ -1,0 +1,88 @@
+package fairrank_test
+
+import (
+	"fmt"
+	"log"
+
+	"fairrank"
+)
+
+// ExampleDesigner_Suggest builds a tiny dataset whose "blue" group crowds
+// the top under x-heavy weights, and asks for the closest fair function.
+func ExampleDesigner_Suggest() {
+	rows := [][]float64{
+		{0.95, 0.30}, {0.90, 0.25}, {0.85, 0.42}, {0.80, 0.20}, {0.75, 0.35},
+		{0.40, 0.90}, {0.35, 0.85}, {0.30, 0.95}, {0.25, 0.80}, {0.20, 0.88},
+	}
+	groups := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	ds, err := fairrank.NewDataset([]string{"x", "y"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("color", []string{"blue", "orange"}, groups); err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := fairrank.TopKOracle(ds, "color", 4, []fairrank.GroupBound{
+		{Group: "orange", Min: 2, Max: -1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	designer, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := designer.Suggest([]float64{1, 0.15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fair, err := designer.IsFair(s.Weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("already fair: %v, suggestion fair: %v\n", s.AlreadyFair, fair)
+	// Output: already fair: false, suggestion fair: true
+}
+
+// ExampleAngularDistance shows the paper's function-distance examples from
+// §2: scalings are identical, f = x+y and f” = x are π/4 apart.
+func ExampleAngularDistance() {
+	same, err := fairrank.AngularDistance([]float64{1, 1}, []float64{100, 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	quarter, err := fairrank.AngularDistance([]float64{1, 1}, []float64{1, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scaled copies: %.4f, x+y vs x: %.4f\n", same, quarter)
+	// Output: scaled copies: 0.0000, x+y vs x: 0.7854
+}
+
+// ExampleMaxShare expresses the paper's default COMPAS constraint: a
+// group's share of the top 30% may exceed its dataset share by at most 10%.
+func ExampleMaxShare() {
+	rows := make([][]float64, 10)
+	groups := make([]int, 10)
+	for i := range rows {
+		rows[i] = []float64{float64(10 - i)}
+		groups[i] = i % 2
+	}
+	ds, err := fairrank.NewDataset([]string{"score"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("g", []string{"a", "b"}, groups); err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := fairrank.MaxShare(ds, "g", "a", 0.30, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	order, err := fairrank.Rank(ds, []float64{1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fair:", oracle.Check(order))
+	// Output: fair: false
+}

@@ -1,0 +1,136 @@
+// Hiring demonstrates FM2 — simultaneous constraints over several type
+// attributes (§2's "constraints on gender, ethnicity and age group
+// simultaneously") — plus the FA*IR-style prefix oracle, on a synthetic
+// candidate-screening scenario: rank applicants by experience and skill
+// assessment while keeping the shortlist representative by gender AND age
+// group in every prefix of the top 60.
+//
+// Run with:
+//
+//	go run ./examples/hiring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fairrank"
+	"fairrank/internal/fairness"
+)
+
+const (
+	numCandidates = 1200
+	shortlist     = 60
+)
+
+func main() {
+	ds, gender, senior := generateCandidates()
+
+	// FM2: at most 70% men in the shortlist AND at most 75% under-40s,
+	// AND (FA*IR-style) women hold at least ⌊0.25·i⌋ of every prefix i.
+	maxMen, err := fairrank.TopKOracle(ds, "gender", shortlist,
+		[]fairrank.GroupBound{{Group: "M", Min: -1, Max: shortlist * 70 / 100}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxYoung, err := fairrank.TopKOracle(ds, "age_group", shortlist,
+		[]fairrank.GroupBound{{Group: "under40", Min: -1, Max: shortlist * 75 / 100}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prefix, err := fairness.NewPrefix(ds, "gender", "F", shortlist, 0.25, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := fairrank.AllOf(maxMen, maxYoung, prefix)
+
+	designer, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d candidates; FM2 constraint satisfiable: %v\n",
+		ds.N(), designer.Satisfiable())
+	if !designer.Satisfiable() {
+		return
+	}
+
+	for _, query := range [][]float64{{0.8, 0.2}, {0.5, 0.5}, {0.1, 0.9}} {
+		s, err := designer.Suggest(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(designer, gender, senior, query, s)
+	}
+}
+
+func report(d *fairrank.Designer, gender, senior []int, query []float64, s *fairrank.Suggestion) {
+	if s.AlreadyFair {
+		fmt.Printf("\nf = %.2f·experience + %.2f·skill is already fair\n", query[0], query[1])
+		return
+	}
+	fmt.Printf("\nf = %.2f·experience + %.2f·skill is UNFAIR\n", query[0], query[1])
+	fmt.Printf("suggested f' = %.4f·experience + %.4f·skill (θ = %.4f rad)\n",
+		s.Weights[0], s.Weights[1], s.Distance)
+	order, err := d.Rank(s.Weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	women, young := 0, 0
+	for _, i := range order[:shortlist] {
+		if gender[i] == 1 {
+			women++
+		}
+		if senior[i] == 0 {
+			young++
+		}
+	}
+	fmt.Printf("shortlist under f': %d women, %d under-40 of %d\n", women, young, shortlist)
+}
+
+// generateCandidates builds a pool where experience correlates with age
+// (and hence with the age_group attribute) and the skill assessment is
+// mildly biased against women — the two correlations that make naive
+// weightings unfair.
+func generateCandidates() (*fairrank.Dataset, []int, []int) {
+	r := rand.New(rand.NewSource(99))
+	rows := make([][]float64, numCandidates)
+	gender := make([]int, numCandidates) // 0: M, 1: F
+	senior := make([]int, numCandidates) // 0: under 40, 1: 40+
+	for i := range rows {
+		if r.Float64() < 0.45 {
+			gender[i] = 1
+		}
+		age := 22 + r.Float64()*40
+		if age >= 40 {
+			senior[i] = 1
+		}
+		experience := clamp01((age-22)/30 + r.NormFloat64()*0.1)
+		skill := clamp01(0.5 + r.NormFloat64()*0.2)
+		if gender[i] == 1 {
+			skill = clamp01(skill - 0.06) // biased assessment
+		}
+		rows[i] = []float64{experience, skill}
+	}
+	ds, err := fairrank.NewDataset([]string{"experience", "skill"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("gender", []string{"M", "F"}, gender); err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("age_group", []string{"under40", "40plus"}, senior); err != nil {
+		log.Fatal(err)
+	}
+	return ds, gender, senior
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

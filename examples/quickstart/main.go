@@ -1,0 +1,74 @@
+// Quickstart: build a small dataset, state a fairness constraint, and ask
+// the system whether a proposed scoring function is fair — and, if it is
+// not, for the closest fair alternative.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairrank"
+)
+
+func main() {
+	// Ten candidates scored on two attributes. The "blue" group happens to
+	// crowd the high end of attribute x.
+	rows := [][]float64{
+		{0.95, 0.30}, {0.90, 0.25}, {0.85, 0.42}, {0.80, 0.20}, {0.75, 0.35},
+		{0.40, 0.90}, {0.35, 0.85}, {0.30, 0.95}, {0.25, 0.80}, {0.20, 0.88},
+	}
+	groups := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+
+	ds, err := fairrank.NewDataset([]string{"x", "y"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("color", []string{"blue", "orange"}, groups); err != nil {
+		log.Fatal(err)
+	}
+
+	// Constraint: the top 4 must contain at least 2 orange items.
+	oracle, err := fairrank.TopKOracle(ds, "color", 4, []fairrank.GroupBound{
+		{Group: "orange", Min: 2, Max: -1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline phase: index the satisfactory regions of the weight space.
+	designer, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine: %v, satisfiable: %v\n", designer.Mode(), designer.Satisfiable())
+
+	// Online phase: validate a proposed function and get an alternative.
+	query := []float64{1.0, 0.15} // heavily weights x — unfair by design
+	s, err := designer.Suggest(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if s.AlreadyFair {
+		fmt.Printf("query %v is already fair\n", query)
+	} else {
+		fmt.Printf("query  %v is unfair\n", query)
+		fmt.Printf("suggest %.4f (angular distance %.4f rad)\n", s.Weights, s.Distance)
+	}
+
+	// Show the top-4 under both functions.
+	for _, w := range [][]float64{query, s.Weights} {
+		order, err := designer.Rank(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top-4 under %.4f:", w)
+		for _, i := range order[:4] {
+			fmt.Printf(" item%d(%s)", i, []string{"blue", "orange"}[groups[i]])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,398 @@
+// Package fairrank is a system for designing fair score-based ranking
+// schemes, reproducing "Designing Fair Ranking Schemes" (Asudeh, Jagadish,
+// Stoyanovich, Das — SIGMOD 2019).
+//
+// Items in a dataset are ranked by a linear scoring function
+// f_w(t) = Σ w_j·t[j] with non-negative weights. A black-box fairness
+// oracle decides whether the ordering a function induces is satisfactory.
+// fairrank preprocesses the dataset offline so that, online, a proposed
+// weight vector can be validated in microseconds and — when it is unfair —
+// replaced by the closest satisfactory weight vector, where closeness is
+// the angular distance between the corresponding rays in weight space.
+//
+// Basic use:
+//
+//	ds, _ := fairrank.NewDataset([]string{"gpa", "sat"}, rows)
+//	ds.AddTypeAttr("gender", []string{"F", "M"}, genders)
+//	oracle, _ := fairrank.MinShare(ds, "gender", "F", 0.25, 0.4)
+//	designer, _ := fairrank.NewDesigner(ds, oracle, fairrank.Config{})
+//	s, _ := designer.Suggest([]float64{0.5, 0.5})
+//	if !s.AlreadyFair {
+//	    fmt.Println("try weights", s.Weights, "only", s.Distance, "radians away")
+//	}
+//
+// Three engines are available (Config.Mode):
+//
+//   - Mode2D: the exact ray-sweeping index of §3 (datasets with exactly two
+//     scoring attributes). Offline O(n² (log n + O_n)); online O(log n).
+//   - ModeExact: the arrangement-of-hyperplanes index of §4 with the
+//     closest-point non-linear program of MDBASELINE. Exponential in d —
+//     intended for small studies and as the quality reference.
+//   - ModeApprox: the §5 grid index. Offline work is confined to cells the
+//     exchange hyperplanes actually cross, with early stopping; online
+//     O(log N) with the additive quality bound of Theorem 6.
+//
+// ModeAuto picks Mode2D for d = 2 and ModeApprox otherwise.
+package fairrank
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"fairrank/internal/cells"
+	"fairrank/internal/core"
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+	"fairrank/internal/twod"
+)
+
+// Dataset is a collection of items with numeric scoring attributes and
+// categorical type attributes. See NewDataset, LoadCSV and the methods of
+// the underlying type (Normalize, Project, Sample, AddTypeAttr, ...).
+type Dataset = dataset.Dataset
+
+// Oracle is the fairness oracle abstraction: any predicate over an ordering
+// of item indices (best first).
+type Oracle = fairness.Oracle
+
+// OracleFunc adapts a function to an Oracle.
+type OracleFunc = fairness.Func
+
+// GroupBound bounds one group's count in a top-k constraint.
+type GroupBound = fairness.GroupBound
+
+// NewDataset creates a dataset from scoring attribute names and item rows.
+func NewDataset(scoringNames []string, rows [][]float64) (*Dataset, error) {
+	return dataset.New(scoringNames, rows)
+}
+
+// LoadCSV reads a dataset from CSV (header row required): scoringCols are
+// parsed as numeric scoring attributes, typeCols as categorical attributes.
+func LoadCSV(r io.Reader, scoringCols, typeCols []string) (*Dataset, error) {
+	return dataset.LoadCSV(r, scoringCols, typeCols)
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path string, scoringCols, typeCols []string) (*Dataset, error) {
+	return dataset.LoadCSVFile(path, scoringCols, typeCols)
+}
+
+// TopKOracle builds an FM1-style oracle: the groups of one type attribute
+// must respect per-group min/max counts among the top k items.
+func TopKOracle(ds *Dataset, attr string, k int, bounds []GroupBound) (Oracle, error) {
+	return fairness.NewTopK(ds, attr, k, bounds)
+}
+
+// MaxShare bounds a group's share of the top topFrac·n items to its share
+// of the dataset plus slack — the paper's default constraint shape.
+func MaxShare(ds *Dataset, attr, group string, topFrac, slack float64) (Oracle, error) {
+	return fairness.MaxShare(ds, attr, group, topFrac, slack)
+}
+
+// MinShare requires a group to hold at least share of the top topFrac·n.
+func MinShare(ds *Dataset, attr, group string, topFrac, share float64) (Oracle, error) {
+	return fairness.MinShare(ds, attr, group, topFrac, share)
+}
+
+// Proportional constrains every group of a type attribute to within ±slack
+// of its dataset share at the top topFrac·n — full statistical parity.
+func Proportional(ds *Dataset, attr string, topFrac, slack float64) (Oracle, error) {
+	return fairness.Proportional(ds, attr, topFrac, slack)
+}
+
+// AllOf is the FM2 combinator: every sub-oracle must accept. Use one TopK
+// oracle per type attribute for multi-attribute constraints.
+func AllOf(oracles ...Oracle) Oracle { return fairness.All(oracles) }
+
+// AnyOf accepts when at least one sub-oracle accepts.
+func AnyOf(oracles ...Oracle) Oracle { return fairness.Any(oracles) }
+
+// Mode selects the preprocessing/query engine.
+type Mode int
+
+// Engine modes; see the package documentation.
+const (
+	ModeAuto Mode = iota
+	Mode2D
+	ModeExact
+	ModeApprox
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case Mode2D:
+		return "2d"
+	case ModeExact:
+		return "exact"
+	case ModeApprox:
+		return "approx"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config tunes NewDesigner.
+type Config struct {
+	// Mode selects the engine; ModeAuto picks Mode2D for 2 scoring
+	// attributes and ModeApprox otherwise.
+	Mode Mode
+	// Cells is the approximate-mode grid size N (default 10,000). Larger N
+	// tightens the Theorem 6 quality bound and slows preprocessing.
+	Cells int
+	// Seed makes preprocessing deterministic (LP shuffles, insertion order).
+	Seed int64
+	// PruneTopK, when positive, discards items that can never reach the
+	// top-k before building ordering exchanges (exact for top-k oracles;
+	// the §8 convex-layers optimization). Set it to the oracle's k.
+	PruneTopK int
+	// MaxHyperplanes caps the number of ordering-exchange hyperplanes
+	// indexed in ModeExact/ModeApprox (0 = all).
+	MaxHyperplanes int
+	// UseArrangementTree enables the Algorithm 5 arrangement tree in
+	// ModeExact (recommended; defaults to true via NewDesigner).
+	DisableArrangementTree bool
+	// CellRegionCap bounds the arrangement work inside one grid cell in
+	// ModeApprox: 0 picks the default of 512 probed regions per cell,
+	// −1 removes the cap (the paper's exact MARKCELL behaviour; can be
+	// very slow on cells with many crossing exchanges), any other value is
+	// used as given. Capped cells fall back to CELLCOLORING, so answers
+	// remain oracle-verified; only the Theorem 6 distance bound softens.
+	CellRegionCap int
+	// Workers parallelizes the MARKCELL phase of ModeApprox preprocessing
+	// (0 = serial, negative = GOMAXPROCS).
+	Workers int
+	// RefineQueries makes ModeApprox Suggest calls also consider the
+	// functions of axis-adjacent cells (never worse, O(d log N) extra).
+	RefineQueries bool
+}
+
+// ErrUnsatisfiable is returned by Suggest when no linear ranking function
+// satisfies the oracle anywhere in the weight space.
+var ErrUnsatisfiable = errors.New("fairrank: no satisfactory ranking function exists")
+
+// Suggestion is the answer to a design query.
+type Suggestion struct {
+	// Weights is a satisfactory weight vector: the query itself when it
+	// was already fair, otherwise the closest satisfactory function found,
+	// scaled to the query's magnitude.
+	Weights []float64
+	// Distance is the angular distance (radians) between query and answer;
+	// 0 when AlreadyFair.
+	Distance float64
+	// AlreadyFair reports that the query satisfied the oracle unmodified.
+	AlreadyFair bool
+}
+
+// Designer is the query-answering system: built once offline over a dataset
+// and an oracle, then queried interactively.
+type Designer struct {
+	ds     *Dataset
+	oracle Oracle
+	mode   Mode
+	refine bool
+
+	idx2d  *twod.Index
+	exact  *core.MDIndex
+	approx *cells.Approx
+}
+
+// NewDesigner preprocesses the dataset for the given oracle. This is the
+// offline phase; expect it to take orders of magnitude longer than the
+// online Suggest calls it enables.
+func NewDesigner(ds *Dataset, oracle Oracle, cfg Config) (*Designer, error) {
+	if ds == nil || oracle == nil {
+		return nil, errors.New("fairrank: nil dataset or oracle")
+	}
+	if ds.N() < 2 {
+		return nil, fmt.Errorf("fairrank: dataset has %d items; need at least 2", ds.N())
+	}
+	mode := cfg.Mode
+	if mode == ModeAuto {
+		if ds.D() == 2 {
+			mode = Mode2D
+		} else {
+			mode = ModeApprox
+		}
+	}
+	d := &Designer{ds: ds, oracle: oracle, mode: mode, refine: cfg.RefineQueries}
+	switch mode {
+	case Mode2D:
+		if ds.D() != 2 {
+			return nil, fmt.Errorf("fairrank: Mode2D requires 2 scoring attributes, dataset has %d", ds.D())
+		}
+		idx, err := twod.RaySweep(ds, oracle, twod.Options{})
+		if err != nil {
+			return nil, err
+		}
+		d.idx2d = idx
+	case ModeExact:
+		idx, err := core.SatRegions(ds, oracle, core.Options{
+			UseTree:        !cfg.DisableArrangementTree,
+			MaxHyperplanes: cfg.MaxHyperplanes,
+			Seed:           cfg.Seed,
+			PruneTopK:      cfg.PruneTopK,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.exact = idx
+	case ModeApprox:
+		n := cfg.Cells
+		if n <= 0 {
+			n = 10000
+		}
+		cap := cfg.CellRegionCap
+		switch {
+		case cap == 0:
+			cap = 512
+		case cap < 0:
+			cap = 0 // unlimited
+		}
+		idx, err := cells.Preprocess(ds, oracle, n, cells.Options{
+			Seed:              cfg.Seed,
+			PruneTopK:         cfg.PruneTopK,
+			MaxHyperplanes:    cfg.MaxHyperplanes,
+			MaxRegionsPerCell: cap,
+			Workers:           cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.approx = idx
+	default:
+		return nil, fmt.Errorf("fairrank: unknown mode %v", mode)
+	}
+	return d, nil
+}
+
+// Mode returns the engine the designer is using.
+func (d *Designer) Mode() Mode { return d.mode }
+
+// Satisfiable reports whether any satisfactory ranking function exists.
+func (d *Designer) Satisfiable() bool {
+	switch d.mode {
+	case Mode2D:
+		return d.idx2d.Satisfiable()
+	case ModeExact:
+		return d.exact.Satisfiable()
+	default:
+		return d.approx.Satisfiable()
+	}
+}
+
+// IsFair evaluates the oracle directly on the ordering induced by w.
+func (d *Designer) IsFair(w []float64) (bool, error) {
+	order, err := ranking.Order(d.ds, geom.Vector(w))
+	if err != nil {
+		return false, err
+	}
+	return d.oracle.Check(order), nil
+}
+
+// Rank returns the item indices ordered by descending score under w.
+func (d *Designer) Rank(w []float64) ([]int, error) {
+	return ranking.Order(d.ds, geom.Vector(w))
+}
+
+// Suggest answers a design query: it returns the query unchanged when it is
+// already fair, the closest satisfactory alternative otherwise, or
+// ErrUnsatisfiable when no fair linear function exists at all.
+func (d *Designer) Suggest(w []float64) (*Suggestion, error) {
+	wv := geom.Vector(w)
+	var (
+		out  geom.Vector
+		dist float64
+		err  error
+	)
+	switch d.mode {
+	case Mode2D:
+		out, dist, err = d.idx2d.Query(wv)
+		if errors.Is(err, twod.ErrUnsatisfiable) {
+			err = ErrUnsatisfiable
+		}
+	case ModeExact:
+		out, dist, err = d.exact.Baseline(wv)
+		if errors.Is(err, core.ErrUnsatisfiable) {
+			err = ErrUnsatisfiable
+		}
+	default:
+		if d.refine {
+			out, dist, err = d.approx.QueryRefined(wv)
+		} else {
+			out, dist, err = d.approx.Query(wv)
+		}
+		if errors.Is(err, cells.ErrUnsatisfiable) {
+			err = ErrUnsatisfiable
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Suggestion{Weights: out, Distance: dist, AlreadyFair: dist == 0}, nil
+}
+
+// QualityBound returns the additive approximation bound of Theorem 6 for
+// ModeApprox designers, and 0 for the exact engines.
+func (d *Designer) QualityBound() float64 {
+	if d.mode == ModeApprox {
+		return d.approx.Theorem6Bound()
+	}
+	return 0
+}
+
+// DriftReport summarizes a Revalidate pass; see twod.DriftReport.
+type DriftReport = twod.DriftReport
+
+// Revalidate spot-checks a Mode2D designer's satisfactory intervals against
+// a possibly-updated dataset (the §1 design loop: reuse the scheme while
+// the data distribution holds, verify periodically, rebuild on drift).
+// It returns an error for the other engines.
+func (d *Designer) Revalidate(ds *Dataset) (DriftReport, error) {
+	if d.mode != Mode2D {
+		return DriftReport{}, fmt.Errorf("fairrank: Revalidate supports Mode2D, designer uses %v", d.mode)
+	}
+	return d.idx2d.Revalidate(ds, d.oracle)
+}
+
+// SaveIndex serializes a ModeApprox designer's preprocessed index so the
+// offline phase can be reused across processes (see LoadDesigner). It
+// returns an error for the other engines, whose indexes are cheap enough to
+// rebuild.
+func (d *Designer) SaveIndex(w io.Writer) error {
+	if d.mode != ModeApprox {
+		return fmt.Errorf("fairrank: SaveIndex supports ModeApprox, designer uses %v", d.mode)
+	}
+	return d.approx.WriteIndex(w)
+}
+
+// LoadDesigner reconstructs a ModeApprox designer from a SaveIndex stream.
+// ds and oracle must be the ones the index was built for.
+func LoadDesigner(r io.Reader, ds *Dataset, oracle Oracle) (*Designer, error) {
+	idx, err := cells.LoadIndex(r, ds, oracle)
+	if err != nil {
+		return nil, err
+	}
+	return &Designer{ds: ds, oracle: oracle, mode: ModeApprox, approx: idx}, nil
+}
+
+// AngularDistance returns the angular distance (radians) between two weight
+// vectors — the similarity measure the whole system optimizes.
+func AngularDistance(w1, w2 []float64) (float64, error) {
+	return geom.RayDistance(geom.Vector(w1), geom.Vector(w2))
+}
+
+// Rank orders the dataset's item indices by descending score under w,
+// without building a Designer. Ties break by item index.
+func Rank(ds *Dataset, w []float64) ([]int, error) {
+	return ranking.Order(ds, geom.Vector(w))
+}
+
+// Scores computes f_w(t) for every item.
+func Scores(ds *Dataset, w []float64) ([]float64, error) {
+	return ranking.Scores(ds, geom.Vector(w))
+}

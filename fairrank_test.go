@@ -1,0 +1,324 @@
+package fairrank
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fairrank/internal/datagen"
+)
+
+func admissionsDS(t *testing.T) *Dataset {
+	t.Helper()
+	// Biased admissions data: the protected group scores lower on
+	// attribute 1 ("sat"), as in the paper's Example 1.
+	ds, err := datagen.Biased(150, 2, 0.5, 0.25, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDesigner2DEndToEnd(t *testing.T) {
+	ds := admissionsDS(t)
+	oracle, err := MinShare(ds, "group", "protected", 0.2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(ds, oracle, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode() != Mode2D {
+		t.Fatalf("auto mode picked %v, want 2d", d.Mode())
+	}
+	if !d.Satisfiable() {
+		t.Skip("instance unsatisfiable (generator quirk)")
+	}
+	s, err := d.Suggest([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := d.IsFair(s.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fair {
+		t.Errorf("suggested weights %v are not fair", s.Weights)
+	}
+	if !s.AlreadyFair && s.Distance <= 0 {
+		t.Errorf("distance %v inconsistent with AlreadyFair=%v", s.Distance, s.AlreadyFair)
+	}
+}
+
+func TestDesignerApproxEndToEnd(t *testing.T) {
+	ds, err := datagen.CompasNormalized(60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := ds.Project("start", "c_days_from_compas", "juv_other_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := MaxShare(proj, "race", "African-American", 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(proj, oracle, Config{Cells: 800, Seed: 1, PruneTopK: 18, CellRegionCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode() != ModeApprox {
+		t.Fatalf("auto mode picked %v, want approx", d.Mode())
+	}
+	if !d.Satisfiable() {
+		t.Skip("unsatisfiable instance")
+	}
+	if d.QualityBound() <= 0 {
+		t.Error("approx designer should expose a positive Theorem 6 bound")
+	}
+	s, err := d.Suggest([]float64{0.4, 0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := d.IsFair(s.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fair {
+		t.Errorf("suggested weights %v are not fair", s.Weights)
+	}
+}
+
+func TestDesignerExactMode(t *testing.T) {
+	ds, err := datagen.Uniform(10, 3, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := TopKOracle(ds, "group", 3, []GroupBound{{Group: "protected", Min: 1, Max: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(ds, oracle, Config{Mode: ModeExact, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Satisfiable() {
+		t.Skip("unsatisfiable")
+	}
+	s, err := d.Suggest([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Weights) != 3 {
+		t.Fatalf("weights = %v", s.Weights)
+	}
+	if d.QualityBound() != 0 {
+		t.Error("exact mode should report a zero quality bound")
+	}
+}
+
+func TestDesignerValidation(t *testing.T) {
+	ds := admissionsDS(t)
+	oracle := OracleFunc(func([]int) bool { return true })
+	if _, err := NewDesigner(nil, oracle, Config{}); err == nil {
+		t.Error("expected nil dataset error")
+	}
+	if _, err := NewDesigner(ds, nil, Config{}); err == nil {
+		t.Error("expected nil oracle error")
+	}
+	tiny, _ := NewDataset([]string{"x", "y"}, [][]float64{{1, 2}})
+	if _, err := NewDesigner(tiny, oracle, Config{}); err == nil {
+		t.Error("expected too-few-items error")
+	}
+	ds3, _ := datagen.Uniform(5, 3, 0.5, 1)
+	if _, err := NewDesigner(ds3, oracle, Config{Mode: Mode2D}); err == nil {
+		t.Error("expected Mode2D dimension error")
+	}
+	if _, err := NewDesigner(ds, oracle, Config{Mode: Mode(99)}); err == nil {
+		t.Error("expected unknown mode error")
+	}
+}
+
+func TestDesignerUnsatisfiable(t *testing.T) {
+	ds := admissionsDS(t)
+	d, err := NewDesigner(ds, OracleFunc(func([]int) bool { return false }), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Satisfiable() {
+		t.Fatal("should be unsatisfiable")
+	}
+	if _, err := d.Suggest([]float64{1, 1}); err != ErrUnsatisfiable {
+		t.Errorf("want ErrUnsatisfiable, got %v", err)
+	}
+}
+
+func TestLoadCSVPublic(t *testing.T) {
+	csv := "a,b,g\n1,2,x\n3,4,y\n"
+	ds, err := LoadCSV(strings.NewReader(csv), []string{"a", "b"}, []string{"g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 {
+		t.Fatalf("N = %d", ds.N())
+	}
+}
+
+func TestAngularDistancePublic(t *testing.T) {
+	d, err := AngularDistance([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-math.Pi/2) > 1e-12 {
+		t.Errorf("distance = %v", d)
+	}
+}
+
+func TestCombinatorsPublic(t *testing.T) {
+	yes := OracleFunc(func([]int) bool { return true })
+	no := OracleFunc(func([]int) bool { return false })
+	if !AllOf(yes, yes).Check(nil) || AllOf(yes, no).Check(nil) {
+		t.Error("AllOf broken")
+	}
+	if !AnyOf(no, yes).Check(nil) || AnyOf(no, no).Check(nil) {
+		t.Error("AnyOf broken")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{ModeAuto: "auto", Mode2D: "2d", ModeExact: "exact", ModeApprox: "approx"} {
+		if m.String() != want {
+			t.Errorf("Mode %d string %q", m, m.String())
+		}
+	}
+	if Mode(42).String() != "Mode(42)" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestSaveLoadIndex(t *testing.T) {
+	ds, err := datagen.CompasNormalized(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := ds.Project("start", "c_days_from_compas", "juv_other_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := MaxShare(proj, "race", "African-American", 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(proj, oracle, Config{Mode: ModeApprox, Cells: 300, Seed: 1, CellRegionCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDesigner(&buf, proj, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Satisfiable() != d.Satisfiable() {
+		t.Fatal("satisfiability changed by save/load")
+	}
+	w := []float64{0.2, 0.5, 0.3}
+	s1, err1 := d.Suggest(w)
+	s2, err2 := loaded.Suggest(w)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("error mismatch: %v vs %v", err1, err2)
+	}
+	if err1 == nil && math.Abs(s1.Distance-s2.Distance) > 1e-12 {
+		t.Fatalf("suggestion changed by save/load: %v vs %v", s1.Distance, s2.Distance)
+	}
+	// 2D designers refuse to save.
+	ds2d, _ := datagen.Biased(50, 2, 0.5, 0.2, 1, 1)
+	d2, err := NewDesigner(ds2d, OracleFunc(func([]int) bool { return true }), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.SaveIndex(&buf); err == nil {
+		t.Error("expected error saving a 2D designer")
+	}
+}
+
+func TestRevalidatePublic(t *testing.T) {
+	ds := admissionsDS(t)
+	oracle, err := MinShare(ds, "group", "protected", 0.2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(ds, oracle, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Satisfiable() {
+		t.Skip("unsatisfiable")
+	}
+	report, err := d.Revalidate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Healthy() {
+		t.Errorf("unchanged data should revalidate cleanly: %+v", report)
+	}
+	// Drifted data: depress the protected group much further.
+	drifted, err := datagen.Biased(150, 2, 0.5, 0.8, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report2, err := d.Revalidate(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = report2 // drift may or may not break every interval; just exercising
+	// Non-2D designers refuse.
+	ds3, _ := datagen.Uniform(10, 3, 0.5, 5)
+	d3, err := NewDesigner(ds3, OracleFunc(func([]int) bool { return true }), Config{Cells: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d3.Revalidate(ds3); err == nil {
+		t.Error("expected mode error for approx designer")
+	}
+}
+
+func TestProportionalPublic(t *testing.T) {
+	ds, err := datagen.Uniform(200, 2, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Proportional(ds, "group", 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(ds, o, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Satisfiable() // constructed and queryable without error
+}
+
+func TestRankAccessor(t *testing.T) {
+	ds := admissionsDS(t)
+	d, err := NewDesigner(ds, OracleFunc(func([]int) bool { return true }), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := d.Rank([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != ds.N() {
+		t.Fatalf("order length %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if ds.Item(order[i-1])[0] < ds.Item(order[i])[0] {
+			t.Fatal("order not descending on attribute 0")
+		}
+	}
+}

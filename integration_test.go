@@ -1,0 +1,172 @@
+package fairrank_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairrank"
+	"fairrank/internal/datagen"
+)
+
+// TestEnginesAgreeOn2D builds the same 2D instance with all three engines
+// and checks they agree on satisfiability and answer quality: the 2D sweep
+// is exact, ModeExact must match it closely (angle-space hyperplanes are
+// exact at d = 2), and ModeApprox must stay within its Theorem 6 bound.
+func TestEnginesAgreeOn2D(t *testing.T) {
+	ds, err := datagen.Biased(40, 2, 0.5, 0.3, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := fairrank.MinShare(ds, "group", "protected", 0.25, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{Mode: fairrank.Mode2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{Mode: fairrank.ModeExact, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{
+		Mode: fairrank.ModeApprox, Cells: 3000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Satisfiable() != exact.Satisfiable() || sweep.Satisfiable() != approx.Satisfiable() {
+		t.Fatalf("satisfiability disagreement: 2d=%v exact=%v approx=%v",
+			sweep.Satisfiable(), exact.Satisfiable(), approx.Satisfiable())
+	}
+	if !sweep.Satisfiable() {
+		t.Skip("unsatisfiable instance")
+	}
+	bound := approx.QualityBound()
+	r := rand.New(rand.NewSource(9))
+	for q := 0; q < 15; q++ {
+		theta := r.Float64() * math.Pi / 2
+		w := []float64{math.Cos(theta), math.Sin(theta)}
+		s2d, err := sweep.Suggest(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sEx, err := exact.Suggest(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sAp, err := approx.Suggest(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s2d.Distance-sEx.Distance) > 0.02 {
+			t.Errorf("q%d: exact engine off the 2D optimum: %v vs %v", q, sEx.Distance, s2d.Distance)
+		}
+		if sAp.Distance > s2d.Distance+bound+1e-9 {
+			t.Errorf("q%d: approx violates Theorem 6: %v > %v + %v", q, sAp.Distance, s2d.Distance, bound)
+		}
+		// All three answers must actually be fair.
+		for name, s := range map[string]*fairrank.Suggestion{"2d": s2d, "exact": sEx, "approx": sAp} {
+			fair, err := sweep.IsFair(s.Weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fair {
+				t.Errorf("q%d: %s engine returned unfair weights %v", q, name, s.Weights)
+			}
+		}
+	}
+}
+
+// TestWorkersAndRefineThroughPublicAPI exercises the parallel preprocessing
+// and refined-lookup knobs end to end.
+func TestWorkersAndRefineThroughPublicAPI(t *testing.T) {
+	full, err := datagen.CompasNormalized(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := full.Project("start", "c_days_from_compas", "juv_other_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := fairrank.MaxShare(ds, "race", "African-American", 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{
+		Cells: 500, Seed: 2, CellRegionCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{
+		Cells: 500, Seed: 2, CellRegionCap: 64, Workers: -1, RefineQueries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Satisfiable() != refined.Satisfiable() {
+		t.Fatal("worker count changed satisfiability")
+	}
+	if !plain.Satisfiable() {
+		t.Skip("unsatisfiable")
+	}
+	r := rand.New(rand.NewSource(4))
+	for q := 0; q < 10; q++ {
+		w := []float64{r.Float64() + 0.01, r.Float64() + 0.01, r.Float64() + 0.01}
+		sp, err1 := plain.Suggest(w)
+		sr, err2 := refined.Suggest(w)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if sr.Distance > sp.Distance+1e-9 {
+			t.Errorf("refined suggestion worse: %v > %v", sr.Distance, sp.Distance)
+		}
+	}
+}
+
+// TestDeterminism: identical configs yield identical suggestions.
+func TestDeterminism(t *testing.T) {
+	full, err := datagen.CompasNormalized(50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := full.Project("start", "c_days_from_compas", "juv_other_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := fairrank.MaxShare(ds, "race", "African-American", 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fairrank.Config{Cells: 400, Seed: 11, CellRegionCap: 64}
+	d1, err := fairrank.NewDesigner(ds, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := fairrank.NewDesigner(ds, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(12))
+	for q := 0; q < 10; q++ {
+		w := []float64{r.Float64() + 0.01, r.Float64() + 0.01, r.Float64() + 0.01}
+		s1, err1 := d1.Suggest(w)
+		s2, err2 := d2.Suggest(w)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic errors: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if s1.Distance != s2.Distance {
+			t.Fatalf("nondeterministic distances: %v vs %v", s1.Distance, s2.Distance)
+		}
+		for k := range s1.Weights {
+			if s1.Weights[k] != s2.Weights[k] {
+				t.Fatalf("nondeterministic weights: %v vs %v", s1.Weights, s2.Weights)
+			}
+		}
+	}
+}

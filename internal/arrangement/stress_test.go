@@ -1,0 +1,119 @@
+package arrangement
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/geom"
+)
+
+// Stress: a larger arrangement in 3 angle dimensions (d = 4 data) stays
+// internally consistent — witnesses inside their regions, tree and Locate
+// in agreement.
+func TestArrangement3DAngleSpace(t *testing.T) {
+	box := geom.FullAngleBox(4)
+	r := rand.New(rand.NewSource(41))
+	a := New(box, true, r)
+	items := make([]geom.Vector, 10)
+	for i := range items {
+		items[i] = geom.Vector{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	hps, err := BuildHyperplanes(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hps) > 25 {
+		hps = hps[:25]
+	}
+	for _, h := range hps {
+		a.Insert(h)
+	}
+	if a.NumRegions() < 2 {
+		t.Fatalf("expected multiple regions, got %d", a.NumRegions())
+	}
+	for ri, reg := range a.Regions() {
+		if reg.Witness == nil {
+			t.Fatalf("region %d has no witness", ri)
+		}
+		for _, sh := range reg.Sides {
+			if side := a.Hyperplanes[sh.H].SideOf(reg.Witness); side != sh.S {
+				t.Errorf("region %d witness on side %v of h%d, want %v", ri, side, sh.H, sh.S)
+			}
+		}
+		// Locate maps the witness back to its own region.
+		if got := a.Locate(reg.Witness); got != reg {
+			t.Errorf("Locate(witness of region %d) returned a different region", ri)
+		}
+	}
+}
+
+// Insert of a duplicate hyperplane must not split any region (no interior
+// crossing exists on a boundary already present).
+func TestInsertDuplicateHyperplane(t *testing.T) {
+	box := geom.FullAngleBox(3)
+	a := New(box, true, rand.New(rand.NewSource(2)))
+	h := geom.Hyperplane{Coef: geom.Vector{1, 1}}
+	a.Insert(h)
+	n := a.NumRegions()
+	a.Insert(h)
+	if a.NumRegions() != n {
+		t.Errorf("duplicate insert changed regions: %d → %d", n, a.NumRegions())
+	}
+}
+
+// Nearly-parallel hyperplanes: thin slab regions must still carry valid
+// witnesses or be rejected as degenerate, never crash.
+func TestNearParallelHyperplanes(t *testing.T) {
+	box := geom.FullAngleBox(3)
+	a := New(box, true, rand.New(rand.NewSource(3)))
+	for i := 0; i < 20; i++ {
+		eps := float64(i) * 1e-4
+		a.Insert(geom.Hyperplane{Coef: geom.Vector{1 + eps, 1 - eps}})
+	}
+	for ri, reg := range a.Regions() {
+		if reg.Witness == nil {
+			continue // degenerate sliver; acceptable
+		}
+		if !box.Contains(reg.Witness) {
+			t.Errorf("region %d witness escaped the box: %v", ri, reg.Witness)
+		}
+	}
+}
+
+// BuildHyperplanes over a dominance chain yields none.
+func TestBuildHyperplanesChain(t *testing.T) {
+	items := []geom.Vector{{3, 3, 3}, {2, 2, 2}, {1, 1, 1}}
+	hps, err := BuildHyperplanes(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hps) != 0 {
+		t.Errorf("chain should produce no exchanges, got %d", len(hps))
+	}
+}
+
+// HyperPolar in 5 and 6 dimensions still produces finite, usable
+// hyperplanes whose sampled exchange points lie near h·θ = 1.
+func TestHyperPolarHighDimensions(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, d := range []int{5, 6} {
+		for iter := 0; iter < 20; iter++ {
+			ti := make(geom.Vector, d)
+			tj := make(geom.Vector, d)
+			for k := 0; k < d; k++ {
+				ti[k] = r.Float64()
+				tj[k] = r.Float64()
+			}
+			if geom.Dominates(ti, tj) || geom.Dominates(tj, ti) || ti.Sub(tj).IsZero() {
+				continue
+			}
+			h, err := HyperPolar(ti, tj)
+			if err != nil {
+				t.Fatalf("d=%d: %v", d, err)
+			}
+			if len(h.Coef) != d-1 || !h.Coef.IsFinite() {
+				t.Fatalf("d=%d: bad coefficients %v", d, h.Coef)
+			}
+		}
+	}
+}

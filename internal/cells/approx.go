@@ -1,0 +1,255 @@
+package cells
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"fairrank/internal/arrangement"
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+)
+
+// ErrUnsatisfiable is returned by Query when no cell anywhere holds a
+// satisfactory function.
+var ErrUnsatisfiable = errors.New("cells: no satisfactory ranking function exists")
+
+// Options tunes Preprocess.
+type Options struct {
+	// Seed drives LP randomization and hyperplane shuffling.
+	Seed int64
+	// PruneTopK, when positive, builds hyperplanes only over items that can
+	// reach the top-k (see core.Options.PruneTopK); exact for top-k oracles.
+	PruneTopK int
+	// MaxHyperplanes caps the number of ordering-exchange hyperplanes
+	// (0 = all), mirroring the paper's capped-arrangement experiments.
+	MaxHyperplanes int
+	// MaxRegionsPerCell caps how many arrangement regions MARKCELL may
+	// probe inside one cell before giving up on it (0 = unlimited, the
+	// paper's behaviour). Unsatisfiable cells otherwise force a complete
+	// per-cell arrangement — the dominant preprocessing cost the paper
+	// reports — and a cap trades a slightly weaker Theorem 6 guarantee
+	// (a capped cell falls back to CELLCOLORING) for bounded work.
+	MaxRegionsPerCell int
+	// Workers is the number of goroutines for the MARKCELL phase
+	// (cells are independent). 0 = serial; negative = GOMAXPROCS.
+	Workers int
+}
+
+// PhaseTimes records the duration of each preprocessing phase — the series
+// plotted in Figures 22 and 23.
+type PhaseTimes struct {
+	BuildHyperplanes time.Duration // HYPERPOLAR over all pairs
+	Partition        time.Duration // ANGLEPARTITIONING
+	Assign           time.Duration // CELLPLANE×
+	Mark             time.Duration // MARKCELL / ATC+
+	Color            time.Duration // CELLCOLORING
+}
+
+// Total returns the end-to-end preprocessing time.
+func (p PhaseTimes) Total() time.Duration {
+	return p.BuildHyperplanes + p.Partition + p.Assign + p.Mark + p.Color
+}
+
+// Approx is the §5 index: a partitioned angle space in which every cell
+// carries a satisfactory ranking function (when one exists at all), plus
+// the per-phase statistics the paper's preprocessing figures report.
+type Approx struct {
+	Grid        *Grid
+	DS          *dataset.Dataset
+	Oracle      fairness.Oracle
+	Hyperplanes []geom.Hyperplane
+	Times       PhaseTimes
+	AssignStats AssignStats
+	MarkStats   MarkStats
+	ColorStats  ColorStats
+	OracleCalls int
+}
+
+// Preprocess runs the full offline pipeline of §5 over the dataset: build
+// ordering-exchange hyperplanes, partition the angle space into ~n cells,
+// assign hyperplanes to cells, mark cells intersecting satisfactory
+// regions, and color the rest.
+func Preprocess(ds *dataset.Dataset, oracle fairness.Oracle, n int, opt Options) (*Approx, error) {
+	if ds.D() < 2 {
+		return nil, fmt.Errorf("cells: need at least 2 scoring attributes, got %d", ds.D())
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	a := &Approx{DS: ds, Oracle: oracle}
+
+	start := time.Now()
+	items := make([]geom.Vector, 0, ds.N())
+	if opt.PruneTopK > 0 {
+		for _, i := range ds.TopKCandidates(opt.PruneTopK) {
+			items = append(items, ds.Item(i))
+		}
+	} else {
+		for i := 0; i < ds.N(); i++ {
+			items = append(items, ds.Item(i))
+		}
+	}
+	hps, err := arrangement.BuildHyperplanes(items)
+	if err != nil {
+		return nil, err
+	}
+	arrangement.ShuffleHyperplanes(hps, rng)
+	if opt.MaxHyperplanes > 0 && len(hps) > opt.MaxHyperplanes {
+		hps = hps[:opt.MaxHyperplanes]
+	}
+	a.Hyperplanes = hps
+	a.Times.BuildHyperplanes = time.Since(start)
+
+	start = time.Now()
+	grid, err := NewGrid(ds.D(), n)
+	if err != nil {
+		return nil, err
+	}
+	a.Grid = grid
+	a.Times.Partition = time.Since(start)
+
+	start = time.Now()
+	a.AssignStats = grid.AssignHyperplanes(hps)
+	a.Times.Assign = time.Since(start)
+
+	var oracleCalls atomic.Int64
+	depth := fairness.InspectionDepth(oracle)
+	check := func(theta geom.Angles) bool {
+		w := theta.ToCartesian(1)
+		order, err := orderForOracle(ds, w, depth)
+		if err != nil {
+			return false
+		}
+		oracleCalls.Add(1)
+		return oracle.Check(order)
+	}
+	start = time.Now()
+	workers := opt.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	a.MarkStats = MarkCellsParallel(grid, hps, check, rng.Int63(), opt.MaxRegionsPerCell, workers)
+	a.Times.Mark = time.Since(start)
+
+	start = time.Now()
+	a.ColorStats = ColorCells(grid)
+	a.Times.Color = time.Since(start)
+
+	a.OracleCalls = int(oracleCalls.Load())
+	return a, nil
+}
+
+// Satisfiable reports whether any satisfactory function was found.
+func (a *Approx) Satisfiable() bool { return a.MarkStats.Marked > 0 }
+
+// Query is MDONLINE (Algorithm 11): if the query function is already
+// satisfactory it is returned unchanged; otherwise the query's cell is
+// located by per-axis binary search and the cell's stored satisfactory
+// function is returned, scaled to the query's magnitude, together with its
+// angular distance from the query. By Theorem 6 that distance exceeds the
+// optimum by at most 4·arcsin(√(d−1)/2 · (η/N)^{1/(d−1)}).
+func (a *Approx) Query(w geom.Vector) (geom.Vector, float64, error) {
+	if len(w) != a.DS.D() {
+		return nil, 0, fmt.Errorf("cells: query dimension %d, want %d", len(w), a.DS.D())
+	}
+	order, err := orderForOracle(a.DS, w, fairness.InspectionDepth(a.Oracle))
+	if err != nil {
+		return nil, 0, err
+	}
+	if a.Oracle.Check(order) {
+		return w.Clone(), 0, nil
+	}
+	r, q, err := geom.ToPolar(w)
+	if err != nil {
+		return nil, 0, err
+	}
+	cell := a.Grid.Locate(q)
+	if cell == nil || cell.F == nil {
+		return nil, 0, ErrUnsatisfiable
+	}
+	dist, err := geom.AngleDistance(q, cell.F)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cell.F.ToCartesian(r), dist, nil
+}
+
+// QueryRefined is Query plus a cheap neighbor refinement: besides the
+// located cell's function it considers the functions stored in the 2(d−1)
+// axis-adjacent cells and returns the closest. This never worsens the
+// answer, costs O(d log N), and in practice recovers much of the gap that
+// CELLCOLORING's nearest-seed heuristic leaves (see the abl-refine
+// experiment).
+func (a *Approx) QueryRefined(w geom.Vector) (geom.Vector, float64, error) {
+	if len(w) != a.DS.D() {
+		return nil, 0, fmt.Errorf("cells: query dimension %d, want %d", len(w), a.DS.D())
+	}
+	order, err := orderForOracle(a.DS, w, fairness.InspectionDepth(a.Oracle))
+	if err != nil {
+		return nil, 0, err
+	}
+	if a.Oracle.Check(order) {
+		return w.Clone(), 0, nil
+	}
+	r, q, err := geom.ToPolar(w)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := math.Inf(1)
+	var bestF geom.Angles
+	consider := func(c *Cell) {
+		if c == nil || c.F == nil {
+			return
+		}
+		if d, err := geom.AngleDistance(q, c.F); err == nil && d < best {
+			best, bestF = d, c.F
+		}
+	}
+	consider(a.Grid.Locate(q))
+	probe := q.Clone()
+	for k := 0; k < a.DS.D()-1; k++ {
+		for _, delta := range [2]float64{-a.Grid.Gamma, a.Grid.Gamma} {
+			probe[k] = q[k] + delta
+			consider(a.Grid.Locate(probe))
+		}
+		probe[k] = q[k]
+	}
+	if bestF == nil {
+		return nil, 0, ErrUnsatisfiable
+	}
+	return bestF.ToCartesian(r), best, nil
+}
+
+// Theorem6Bound returns the additive approximation bound of Theorem 6 for
+// this index's dimensionality and cell count.
+func (a *Approx) Theorem6Bound() float64 {
+	return Theorem6Bound(a.DS.D(), a.Grid.N)
+}
+
+// Theorem6Bound computes the paper's additive bound
+//
+//	4·arcsin( √(d−1)/2 · (π^{d/2}/(N·2^{d−1}·Γ(d/2)))^{1/(d−1)} ).
+//
+// The inner root is the hypercube side 2·sin(γ/2) for γ = CellSide(d, n).
+func Theorem6Bound(d, n int) float64 {
+	side := 2 * math.Sin(CellSide(d, n)/2)
+	arg := math.Sqrt(float64(d-1)) / 2 * side
+	if arg > 1 {
+		arg = 1
+	}
+	return 4 * math.Asin(arg)
+}
+
+// orderForOracle ranks the dataset for an oracle probe, using the
+// O(n + k log k) partial ordering when the oracle's inspection depth is
+// known (fairness.InspectionDepth) and the full sort otherwise.
+func orderForOracle(ds *dataset.Dataset, w geom.Vector, depth int) ([]int, error) {
+	if depth > 0 {
+		return ranking.PartialOrder(ds, w, depth)
+	}
+	return ranking.Order(ds, w)
+}

@@ -1,0 +1,62 @@
+package cells
+
+import (
+	"math"
+
+	"fairrank/internal/geom"
+)
+
+// AssignStats counts the work of CELLPLANE× for the preprocessing figures.
+type AssignStats struct {
+	BoxTests int // hyperplane-box crossing tests (the pruning predicate)
+}
+
+// AssignHyperplanes is CELLPLANE× (Algorithm 7): for every hyperplane, it
+// recursively halves the (hierarchical) grid, prunes hyperrectangles the
+// hyperplane does not cross, and appends the hyperplane's index to HC[c]
+// for every surviving cell. It resets any previous assignment.
+func (g *Grid) AssignHyperplanes(hps []geom.Hyperplane) AssignStats {
+	for _, c := range g.Cells {
+		c.HC = c.HC[:0]
+	}
+	var stats AssignStats
+	m := g.D - 1
+	lo := make(geom.Vector, m)
+	hi := make(geom.Vector, m)
+	for hidx := range hps {
+		for k := 0; k < m; k++ {
+			lo[k], hi[k] = 0, math.Pi/2
+		}
+		g.assignRange(g.root, 0, 0, len(g.root.bounds)-2, lo, hi, hps[hidx], hidx, &stats)
+	}
+	return stats
+}
+
+// assignRange processes ranges [a, b] of node's axis. lo and hi hold the
+// box of the current recursion frame (axes before this node's axis pinned
+// to their chosen ranges, later axes spanning [0, π/2]); they are restored
+// before returning.
+func (g *Grid) assignRange(node *axisNode, axis, a, b int, lo, hi geom.Vector, h geom.Hyperplane, hidx int, stats *AssignStats) {
+	oldLo, oldHi := lo[axis], hi[axis]
+	lo[axis], hi[axis] = node.bounds[a], node.bounds[b+1]
+	defer func() { lo[axis], hi[axis] = oldLo, oldHi }()
+
+	stats.BoxTests++
+	if !h.CrossesBox(geom.Box{Lo: lo, Hi: hi}) {
+		return
+	}
+	if a < b {
+		mid := (a + b) / 2
+		g.assignRange(node, axis, a, mid, lo, hi, h, hidx, stats)
+		g.assignRange(node, axis, mid+1, b, lo, hi, h, hidx, stats)
+		return
+	}
+	// Single range: descend to the next axis, or record the cell.
+	if axis == g.D-2 {
+		c := g.Cells[node.cells[a]]
+		c.HC = append(c.HC, hidx)
+		return
+	}
+	child := node.children[a]
+	g.assignRange(child, axis+1, 0, len(child.bounds)-2, lo, hi, h, hidx, stats)
+}

@@ -1,0 +1,73 @@
+package cells
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/geom"
+)
+
+// ANGLEPARTITIONING is O(N); track the constant.
+func BenchmarkNewGrid(b *testing.B) {
+	for _, tc := range []struct{ d, n int }{{3, 10000}, {4, 5000}, {6, 2000}} {
+		b.Run(fmt.Sprintf("d=%d/N=%d", tc.d, tc.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewGrid(tc.d, tc.n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// MDONLINE's cell lookup must be well under a microsecond (§6.3).
+func BenchmarkLocate(b *testing.B) {
+	g, err := NewGrid(4, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	points := make([]geom.Angles, 128)
+	for i := range points {
+		points[i] = geom.Angles{r.Float64() * 1.57, r.Float64() * 1.57, r.Float64() * 1.57}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Locate(points[i%len(points)]) == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// CELLPLANE× assignment cost per hyperplane.
+func BenchmarkAssignHyperplanes(b *testing.B) {
+	g, err := NewGrid(3, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	hps := make([]geom.Hyperplane, 200)
+	for i := range hps {
+		hps[i] = geom.Hyperplane{Coef: geom.Vector{r.Float64() * 4, r.Float64() * 4}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AssignHyperplanes(hps)
+	}
+}
+
+// CELLCOLORING (Dijkstra + spatial-hash adjacency) cost per grid.
+func BenchmarkColorCells(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, err := NewGrid(3, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := g.Cells[len(g.Cells)/3]
+		seed.Marked, seed.F = true, seed.Center
+		b.StartTimer()
+		ColorCells(g)
+	}
+}

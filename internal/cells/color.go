@@ -1,0 +1,153 @@
+package cells
+
+import (
+	"container/heap"
+	"math"
+
+	"fairrank/internal/geom"
+)
+
+// ColorStats summarizes a ColorCells pass.
+type ColorStats struct {
+	Colored int // previously unmarked cells that received a function
+	Edges   int // adjacency edges examined
+}
+
+// ColorCells is CELLCOLORING (Algorithm 10): marked cells are the sources
+// of a Dijkstra flood over the cell-adjacency graph; every unmarked cell
+// receives the satisfactory function of the nearest (by angular distance
+// from that function to the cell's center) marked cell. Cells stay
+// unassigned only when no cell anywhere was marked.
+func ColorCells(g *Grid) ColorStats {
+	var stats ColorStats
+	adj := g.adjacency()
+
+	dist := make([]float64, len(g.Cells))
+	visited := make([]bool, len(g.Cells))
+	pq := &cellHeap{}
+	heap.Init(pq)
+	for i, c := range g.Cells {
+		if c.Marked {
+			dist[i] = 0
+			heap.Push(pq, cellDist{cell: i, dist: 0})
+		} else {
+			dist[i] = math.Inf(1)
+		}
+	}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(cellDist)
+		if visited[cur.cell] {
+			continue // stale heap entry (lazy decrease-key)
+		}
+		visited[cur.cell] = true
+		src := g.Cells[cur.cell]
+		for _, nb := range adj[cur.cell] {
+			if visited[nb] {
+				continue
+			}
+			stats.Edges++
+			target := g.Cells[nb]
+			alt, err := geom.AngleDistance(src.F, target.Center)
+			if err != nil {
+				continue
+			}
+			if alt < dist[nb] {
+				dist[nb] = alt
+				if target.F == nil {
+					stats.Colored++
+				}
+				target.F = src.F
+				heap.Push(pq, cellDist{cell: nb, dist: alt})
+			}
+		}
+	}
+	return stats
+}
+
+// adjacency builds the neighbor lists via a spatial hash on cell centers:
+// the partition is hierarchical and (near-)uniform with step γ, so hashing
+// at pitch γ and probing the 3^(d−1) surrounding buckets finds every pair
+// of touching boxes.
+func (g *Grid) adjacency() [][]int {
+	m := g.D - 1
+	pitch := g.Gamma
+	buckets := map[string][]int{}
+	key := func(center geom.Angles) string {
+		k := make([]byte, 0, 4*m)
+		for _, t := range center {
+			v := int32(math.Floor(t / pitch))
+			k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(k)
+	}
+	for i, c := range g.Cells {
+		k := key(c.Center)
+		buckets[k] = append(buckets[k], i)
+	}
+	adj := make([][]int, len(g.Cells))
+	offsets := enumerateOffsets(m)
+	tol := 1e-9
+	probe := make(geom.Angles, m)
+	seen := make([]int, len(g.Cells)) // seen[j] == i+1 → j already adjacent to i
+	for i, c := range g.Cells {
+		for _, off := range offsets {
+			for k := 0; k < m; k++ {
+				probe[k] = c.Center[k] + float64(off[k])*pitch
+			}
+			for _, j := range buckets[key(probe)] {
+				if j == i || seen[j] == i+1 {
+					continue
+				}
+				if c.Box.Touches(g.Cells[j].Box, tol) {
+					seen[j] = i + 1
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// enumerateOffsets returns {-1,0,1}^m.
+func enumerateOffsets(m int) [][]int {
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= 3
+	}
+	out := make([][]int, 0, total)
+	cur := make([]int, m)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == m {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for _, v := range []int{-1, 0, 1} {
+			cur[k] = v
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// cellDist is a priority-queue entry.
+type cellDist struct {
+	cell int
+	dist float64
+}
+
+// cellHeap is a binary min-heap of cellDist (container/heap).
+type cellHeap []cellDist
+
+func (h cellHeap) Len() int            { return len(h) }
+func (h cellHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellDist)) }
+func (h *cellHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,90 @@
+package cells
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+)
+
+// indexFile is the on-disk representation of a preprocessed grid index.
+// The partitioning itself is deterministic in (D, N), so only the per-cell
+// assignments need to be stored; LoadIndex re-derives the grid and checks
+// the cell count as a consistency guard.
+type indexFile struct {
+	FormatVersion int
+	D, N          int
+	NumCells      int
+	F             [][]float64 // per-cell assigned function (nil = none)
+	Marked        []bool
+}
+
+// indexFormatVersion guards against loading indexes written by an
+// incompatible build.
+const indexFormatVersion = 1
+
+// WriteIndex serializes the preprocessed index (grid shape plus per-cell
+// satisfactory functions) so the offline phase can be paid once and reused
+// across processes — the paper's "creating proper indexes in an offline
+// manner enables efficient answering of the users' queries".
+func (a *Approx) WriteIndex(w io.Writer) error {
+	file := indexFile{
+		FormatVersion: indexFormatVersion,
+		D:             a.DS.D(),
+		N:             a.Grid.N,
+		NumCells:      a.Grid.NumCells(),
+		F:             make([][]float64, a.Grid.NumCells()),
+		Marked:        make([]bool, a.Grid.NumCells()),
+	}
+	for i, c := range a.Grid.Cells {
+		if c.F != nil {
+			file.F[i] = c.F
+		}
+		file.Marked[i] = c.Marked
+	}
+	return gob.NewEncoder(w).Encode(&file)
+}
+
+// LoadIndex reconstructs a queryable index from WriteIndex output. The
+// dataset and oracle must be the ones the index was built for (Query
+// validates the query against the oracle directly; a mismatched dataset
+// gives garbage answers, and a changed dataset should be re-validated as
+// §1 of the paper discusses).
+func LoadIndex(r io.Reader, ds *dataset.Dataset, oracle fairness.Oracle) (*Approx, error) {
+	var file indexFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("cells: decoding index: %w", err)
+	}
+	if file.FormatVersion != indexFormatVersion {
+		return nil, fmt.Errorf("cells: index format %d, want %d", file.FormatVersion, indexFormatVersion)
+	}
+	if file.D != ds.D() {
+		return nil, fmt.Errorf("cells: index built for d=%d, dataset has d=%d", file.D, ds.D())
+	}
+	grid, err := NewGrid(file.D, file.N)
+	if err != nil {
+		return nil, err
+	}
+	if grid.NumCells() != file.NumCells {
+		return nil, fmt.Errorf("cells: index has %d cells, partitioning produced %d (incompatible build?)",
+			file.NumCells, grid.NumCells())
+	}
+	marked := 0
+	for i, c := range grid.Cells {
+		if file.F[i] != nil {
+			c.F = file.F[i]
+		}
+		c.Marked = file.Marked[i]
+		if c.Marked {
+			marked++
+		}
+	}
+	return &Approx{
+		Grid:      grid,
+		DS:        ds,
+		Oracle:    oracle,
+		MarkStats: MarkStats{Marked: marked},
+	}, nil
+}

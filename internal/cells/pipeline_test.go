@@ -1,0 +1,367 @@
+package cells
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+	"fairrank/internal/twod"
+)
+
+// colored builds a random d-attribute dataset with a binary color attribute.
+func colored(t *testing.T, r *rand.Rand, n, d int) *dataset.Dataset {
+	t.Helper()
+	names := make([]string, d)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	rows := make([][]float64, n)
+	colors := make([]int, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		rows[i] = row
+		colors[i] = r.Intn(2)
+	}
+	ds, err := dataset.New(names, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("color", []string{"blue", "orange"}, colors); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAssignHyperplanesCoversCrossings(t *testing.T) {
+	// Reference: brute-force CrossesBox over all cells must equal HC.
+	r := rand.New(rand.NewSource(21))
+	g, err := NewGrid(3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hps []geom.Hyperplane
+	for i := 0; i < 15; i++ {
+		hps = append(hps, geom.Hyperplane{Coef: geom.Vector{r.Float64() * 3, r.Float64() * 3}})
+	}
+	g.AssignHyperplanes(hps)
+	for _, c := range g.Cells {
+		want := map[int]bool{}
+		for hi, h := range hps {
+			if h.CrossesBox(c.Box) {
+				want[hi] = true
+			}
+		}
+		got := map[int]bool{}
+		for _, hi := range c.HC {
+			got[hi] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cell %d: HC=%v want %v", c.Index, c.HC, want)
+		}
+		for hi := range want {
+			if !got[hi] {
+				t.Fatalf("cell %d missing hyperplane %d", c.Index, hi)
+			}
+		}
+	}
+}
+
+func TestAssignPrunes(t *testing.T) {
+	// A hyperplane crossing one corner should test far fewer boxes than
+	// #cells; the recursion prunes whole subtrees.
+	g, err := NewGrid(3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := geom.Hyperplane{Coef: geom.Vector{30, 30}} // θ1+θ2 = 1/30: tiny corner
+	stats := g.AssignHyperplanes([]geom.Hyperplane{h})
+	if stats.BoxTests >= g.NumCells() {
+		t.Errorf("no pruning: %d box tests for %d cells", stats.BoxTests, g.NumCells())
+	}
+}
+
+func TestMarkCellsNoHyperplanes(t *testing.T) {
+	g, err := NewGrid(3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	stats := MarkCells(g, nil, func(geom.Angles) bool { calls++; return true }, rand.New(rand.NewSource(1)))
+	if stats.Marked != g.NumCells() {
+		t.Errorf("marked %d of %d", stats.Marked, g.NumCells())
+	}
+	if calls != g.NumCells() {
+		t.Errorf("oracle calls %d, want one per cell", calls)
+	}
+	for _, c := range g.Cells {
+		if !c.Marked || c.F == nil {
+			t.Fatalf("cell %d unmarked", c.Index)
+		}
+	}
+}
+
+func TestMarkCellsEarlyStop(t *testing.T) {
+	// All functions satisfactory: every cell should stop after its first
+	// probe and insert no hyperplanes at all.
+	g, err := NewGrid(3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	var hps []geom.Hyperplane
+	for i := 0; i < 10; i++ {
+		hps = append(hps, geom.Hyperplane{Coef: geom.Vector{r.Float64() * 3, r.Float64() * 3}})
+	}
+	g.AssignHyperplanes(hps)
+	stats := MarkCells(g, hps, func(geom.Angles) bool { return true }, r)
+	if stats.Inserted != 0 {
+		t.Errorf("early stop failed: %d hyperplanes inserted", stats.Inserted)
+	}
+	if stats.Marked != g.NumCells() {
+		t.Errorf("marked %d of %d", stats.Marked, g.NumCells())
+	}
+}
+
+func TestColorCellsFloodsEverything(t *testing.T) {
+	g, err := NewGrid(3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark a single cell and flood.
+	seed := g.Cells[g.NumCells()/2]
+	seed.Marked = true
+	seed.F = seed.Center
+	stats := ColorCells(g)
+	if stats.Colored != g.NumCells()-1 {
+		t.Errorf("colored %d, want %d", stats.Colored, g.NumCells()-1)
+	}
+	for _, c := range g.Cells {
+		if c.F == nil {
+			t.Fatalf("cell %d left uncolored", c.Index)
+		}
+		d, _ := geom.AngleDistance(c.F, seed.Center)
+		if d > 1e-12 {
+			t.Fatalf("cell %d colored with wrong function", c.Index)
+		}
+	}
+}
+
+func TestColorCellsNearestSeedHeuristic(t *testing.T) {
+	// Two seeds at opposite corners: cells near a corner must inherit the
+	// nearer seed's function.
+	g, err := NewGrid(3, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowSeed := g.Locate(geom.Angles{0.01, 0.01})
+	highSeed := g.Locate(geom.Angles{1.55, 1.55})
+	lowSeed.Marked, lowSeed.F = true, lowSeed.Center
+	highSeed.Marked, highSeed.F = true, highSeed.Center
+	ColorCells(g)
+	probeLow := g.Locate(geom.Angles{0.2, 0.2})
+	probeHigh := g.Locate(geom.Angles{1.4, 1.4})
+	dLow, _ := geom.AngleDistance(probeLow.F, lowSeed.Center)
+	dHigh, _ := geom.AngleDistance(probeHigh.F, highSeed.Center)
+	if dLow > 1e-12 {
+		t.Error("cell near low corner inherited far seed")
+	}
+	if dHigh > 1e-12 {
+		t.Error("cell near high corner inherited far seed")
+	}
+}
+
+func TestAdjacencySymmetricAndTouching(t *testing.T) {
+	g, err := NewGrid(4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := g.adjacency()
+	for i, nbs := range adj {
+		if len(nbs) == 0 {
+			t.Fatalf("cell %d has no neighbors", i)
+		}
+		for _, j := range nbs {
+			if !g.Cells[i].Box.Touches(g.Cells[j].Box, 1e-9) {
+				t.Fatalf("cells %d,%d adjacent but not touching", i, j)
+			}
+			found := false
+			for _, back := range adj[j] {
+				if back == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric for %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestPreprocessAndQuery2DAgainstExact(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 6; iter++ {
+		ds := colored(t, r, 10, 2)
+		oracle, err := fairness.NewTopK(ds, "color", 3, []fairness.GroupBound{{Group: "blue", Min: -1, Max: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, err := twod.RaySweep(ds, oracle, twod.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := Preprocess(ds, oracle, 2000, Options{Seed: int64(iter)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sweep.Satisfiable() != approx.Satisfiable() {
+			t.Fatalf("iter %d: satisfiability disagrees", iter)
+		}
+		if !sweep.Satisfiable() {
+			continue
+		}
+		bound := approx.Theorem6Bound()
+		for q := 0; q < 25; q++ {
+			theta := r.Float64() * math.Pi / 2
+			w := geom.Vector{math.Cos(theta), math.Sin(theta)}
+			_, dOpt, err := sweep.Query(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wApp, dApp, err := approx.Query(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Theorem 6: approximate answer within bound of optimal.
+			if dApp > dOpt+bound+1e-9 {
+				t.Fatalf("iter %d: Theorem 6 violated: approx %v, opt %v, bound %v",
+					iter, dApp, dOpt, bound)
+			}
+			// The returned function must itself be satisfactory.
+			order, err := ranking.Order(ds, wApp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !oracle.Check(order) {
+				t.Fatalf("iter %d: approximate answer not satisfactory", iter)
+			}
+		}
+	}
+}
+
+func TestPreprocessUnsatisfiable(t *testing.T) {
+	ds := colored(t, rand.New(rand.NewSource(40)), 6, 2)
+	approx, err := Preprocess(ds, fairness.Func(func([]int) bool { return false }), 200, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Satisfiable() {
+		t.Fatal("should be unsatisfiable")
+	}
+	if _, _, err := approx.Query(geom.Vector{1, 1}); err != ErrUnsatisfiable {
+		t.Errorf("want ErrUnsatisfiable, got %v", err)
+	}
+}
+
+func TestPreprocessSatisfactoryQueryUnchanged(t *testing.T) {
+	ds := colored(t, rand.New(rand.NewSource(41)), 8, 3)
+	approx, err := Preprocess(ds, fairness.Func(func([]int) bool { return true }), 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := geom.Vector{0.2, 0.5, 0.3}
+	got, dist, err := approx.Query(w)
+	if err != nil || dist != 0 {
+		t.Fatalf("Query: %v %v %v", got, dist, err)
+	}
+	for k := range w {
+		if got[k] != w[k] {
+			t.Fatal("satisfactory query was modified")
+		}
+	}
+}
+
+func TestPreprocessQueryMagnitudePreserved(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ds := colored(t, r, 10, 2)
+	oracle, err := fairness.NewTopK(ds, "color", 3, []fairness.GroupBound{{Group: "blue", Min: -1, Max: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Preprocess(ds, oracle, 500, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx.Satisfiable() {
+		t.Skip("instance happens to be unsatisfiable")
+	}
+	for q := 0; q < 10; q++ {
+		theta := r.Float64() * math.Pi / 2
+		w := geom.Vector{7 * math.Cos(theta), 7 * math.Sin(theta)}
+		got, _, err := approx.Query(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Norm()-7) > 1e-9 {
+			t.Fatalf("magnitude not preserved: %v", got.Norm())
+		}
+	}
+}
+
+func TestPreprocessDimensionErrors(t *testing.T) {
+	ds, _ := dataset.New([]string{"x"}, [][]float64{{1}, {2}})
+	if _, err := Preprocess(ds, fairness.Func(func([]int) bool { return true }), 10, Options{}); err == nil {
+		t.Error("expected dimension error")
+	}
+	ds3, _ := dataset.New([]string{"a", "b", "c"}, [][]float64{{1, 2, 3}, {3, 2, 1}})
+	approx, err := Preprocess(ds3, fairness.Func(func([]int) bool { return true }), 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := approx.Query(geom.Vector{1, 1}); err == nil {
+		t.Error("expected query dimension error")
+	}
+}
+
+func TestPreprocess3DEndToEnd(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	ds := colored(t, r, 8, 3)
+	oracle, err := fairness.NewTopK(ds, "color", 3, []fairness.GroupBound{{Group: "blue", Min: -1, Max: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Preprocess(ds, oracle, 300, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx.Satisfiable() {
+		t.Skip("unsatisfiable instance")
+	}
+	sat := 0
+	for q := 0; q < 20; q++ {
+		w := geom.Vector{r.Float64() + 0.01, r.Float64() + 0.01, r.Float64() + 0.01}
+		got, _, err := approx.Query(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := ranking.Order(ds, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracle.Check(order) {
+			sat++
+		}
+	}
+	// Marked-cell functions are oracle-verified; colored-cell inheritances
+	// can only return verified functions too. All answers must check out.
+	if sat != 20 {
+		t.Errorf("only %d/20 answers satisfactory", sat)
+	}
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// LoadCSV reads a dataset from CSV with a header row. scoringCols name the
+// columns parsed as float scoring attributes; typeCols name the columns
+// treated as categorical type attributes (labels are collected in order of
+// first appearance, then relabeled in sorted order for determinism).
+//
+// This loader accepts the real COMPAS and DOT CSVs unchanged, so the
+// synthetic generators in internal/datagen can be swapped for the paper's
+// actual data when it is available.
+func LoadCSV(r io.Reader, scoringCols, typeCols []string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	colIdx := map[string]int{}
+	for i, h := range header {
+		colIdx[h] = i
+	}
+	sIdx := make([]int, len(scoringCols))
+	for k, name := range scoringCols {
+		i, ok := colIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: scoring column %q not in header", name)
+		}
+		sIdx[k] = i
+	}
+	tIdx := make([]int, len(typeCols))
+	for k, name := range typeCols {
+		i, ok := colIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: type column %q not in header", name)
+		}
+		tIdx[k] = i
+	}
+	var rows [][]float64
+	rawTypes := make([][]string, len(typeCols))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		row := make([]float64, len(sIdx))
+		tvals := make([]string, len(tIdx))
+		ok := true
+		for k, i := range sIdx {
+			if i >= len(rec) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				ok = false // skip rows with unparsable scoring values
+				break
+			}
+			row[k] = v
+		}
+		for k, i := range tIdx {
+			if !ok {
+				break
+			}
+			if i >= len(rec) {
+				ok = false
+				break
+			}
+			tvals[k] = rec[i]
+		}
+		if !ok {
+			continue
+		}
+		rows = append(rows, row)
+		for k := range tIdx {
+			rawTypes[k] = append(rawTypes[k], tvals[k])
+		}
+	}
+	ds, err := New(scoringCols, rows)
+	if err != nil {
+		return nil, err
+	}
+	for k, name := range typeCols {
+		labels, values := encodeLabels(rawTypes[k])
+		if err := ds.AddTypeAttr(name, labels, values); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path string, scoringCols, typeCols []string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCSV(f, scoringCols, typeCols)
+}
+
+// WriteCSV writes the dataset (scoring attributes then type attribute
+// labels) with a header row.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), ds.scoringNames...)
+	for _, ta := range ds.types {
+		header = append(header, ta.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < ds.N(); i++ {
+		for j, v := range ds.items[i] {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for k, ta := range ds.types {
+			rec[ds.D()+k] = ta.Labels[ta.Values[i]]
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// encodeLabels maps raw strings to (sorted labels, per-item indices).
+func encodeLabels(raw []string) ([]string, []int) {
+	seen := map[string]bool{}
+	for _, s := range raw {
+		seen[s] = true
+	}
+	labels := make([]string, 0, len(seen))
+	for s := range seen {
+		labels = append(labels, s)
+	}
+	sort.Strings(labels)
+	idx := map[string]int{}
+	for i, s := range labels {
+		idx[s] = i
+	}
+	values := make([]int, len(raw))
+	for i, s := range raw {
+		values[i] = idx[s]
+	}
+	return labels, values
+}

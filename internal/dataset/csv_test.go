@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `id,gpa,sat,gender,notes
+1,3.5,1400,F,ok
+2,3.9,1200,M,ok
+3,2.8,1550,M,ok
+4,bad,1000,F,unparsable-skipped
+5,3.0,1300,F,ok
+`
+
+func TestLoadCSV(t *testing.T) {
+	ds, err := LoadCSV(strings.NewReader(sampleCSV), []string{"gpa", "sat"}, []string{"gender"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 4 {
+		t.Fatalf("N = %d, want 4 (bad row skipped)", ds.N())
+	}
+	if ds.Item(0)[0] != 3.5 || ds.Item(0)[1] != 1400 {
+		t.Errorf("item 0 = %v", ds.Item(0))
+	}
+	ta, err := ds.TypeAttr("gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Labels) != 2 || ta.Labels[0] != "F" || ta.Labels[1] != "M" {
+		t.Errorf("labels = %v", ta.Labels)
+	}
+	// Row 4 was skipped, so values are for rows 1,2,3,5: F,M,M,F.
+	want := []int{0, 1, 1, 0}
+	for i, v := range ta.Values {
+		if v != want[i] {
+			t.Errorf("type values = %v, want %v", ta.Values, want)
+			break
+		}
+	}
+}
+
+func TestLoadCSVMissingColumns(t *testing.T) {
+	if _, err := LoadCSV(strings.NewReader(sampleCSV), []string{"zzz"}, nil); err == nil {
+		t.Error("expected missing scoring column error")
+	}
+	if _, err := LoadCSV(strings.NewReader(sampleCSV), []string{"gpa"}, []string{"zzz"}); err == nil {
+		t.Error("expected missing type column error")
+	}
+	if _, err := LoadCSV(strings.NewReader(""), []string{"gpa"}, nil); err == nil {
+		t.Error("expected empty input error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := LoadCSV(strings.NewReader(sampleCSV), []string{"gpa", "sat"}, []string{"gender"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, []string{"gpa", "sat"}, []string{"gender"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() {
+		t.Fatalf("round trip N: %d vs %d", back.N(), ds.N())
+	}
+	for i := 0; i < ds.N(); i++ {
+		for j := 0; j < ds.D(); j++ {
+			if back.Item(i)[j] != ds.Item(i)[j] {
+				t.Fatalf("round trip item %d: %v vs %v", i, back.Item(i), ds.Item(i))
+			}
+		}
+	}
+	ta1, _ := ds.TypeAttr("gender")
+	ta2, _ := back.TypeAttr("gender")
+	for i := range ta1.Values {
+		if ta1.Labels[ta1.Values[i]] != ta2.Labels[ta2.Values[i]] {
+			t.Fatal("round trip type mismatch")
+		}
+	}
+}
+
+func TestLoadCSVFileNotFound(t *testing.T) {
+	if _, err := LoadCSVFile("/nonexistent/x.csv", []string{"a"}, nil); err == nil {
+		t.Error("expected file error")
+	}
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fig3 is the paper's Figure 3 toy dataset (5 items, 2 attributes).
+func fig3(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := New([]string{"x", "y"}, [][]float64{
+		{1, 3.5}, {1.5, 3.1}, {1.91, 2.3}, {2.3, 1.8}, {3.2, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("expected error for no scoring attributes")
+	}
+	if _, err := New([]string{"x"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("expected error for ragged row")
+	}
+	if _, err := New([]string{"x"}, [][]float64{{1}, {2}, {3}}); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	ds := fig3(t)
+	if ds.N() != 5 || ds.D() != 2 {
+		t.Fatalf("N=%d D=%d", ds.N(), ds.D())
+	}
+	if ds.Item(0)[1] != 3.5 {
+		t.Errorf("Item(0) = %v", ds.Item(0))
+	}
+	if ds.ScoringNames()[1] != "y" {
+		t.Errorf("names = %v", ds.ScoringNames())
+	}
+}
+
+func TestTypeAttrs(t *testing.T) {
+	ds := fig3(t)
+	if err := ds.AddTypeAttr("color", []string{"blue", "orange"}, []int{0, 1, 0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("color", []string{"a"}, []int{0, 0, 0, 0, 0}); err == nil {
+		t.Error("expected duplicate name error")
+	}
+	if err := ds.AddTypeAttr("bad", []string{"a"}, []int{0, 0}); err == nil {
+		t.Error("expected length error")
+	}
+	if err := ds.AddTypeAttr("bad2", []string{"a"}, []int{0, 0, 0, 0, 5}); err == nil {
+		t.Error("expected range error")
+	}
+	ta, err := ds.TypeAttr("color")
+	if err != nil || ta.Labels[1] != "orange" {
+		t.Fatalf("TypeAttr: %v %v", ta, err)
+	}
+	if _, err := ds.TypeAttr("nope"); err == nil {
+		t.Error("expected unknown attribute error")
+	}
+	counts, err := ds.GroupCounts("color")
+	if err != nil || counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("GroupCounts = %v, %v", counts, err)
+	}
+	props, err := ds.GroupProportions("color")
+	if err != nil || props[0] != 0.6 {
+		t.Errorf("GroupProportions = %v, %v", props, err)
+	}
+	if len(ds.TypeAttrs()) != 1 {
+		t.Errorf("TypeAttrs len = %d", len(ds.TypeAttrs()))
+	}
+}
+
+func TestProject(t *testing.T) {
+	ds, _ := New([]string{"a", "b", "c"}, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	_ = ds.AddTypeAttr("g", []string{"x", "y"}, []int{0, 1})
+	p, err := ds.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.D() != 2 || p.Item(0)[0] != 3 || p.Item(1)[1] != 4 {
+		t.Errorf("projection wrong: %v %v", p.Item(0), p.Item(1))
+	}
+	if _, err := p.TypeAttr("g"); err != nil {
+		t.Error("type attribute lost in projection")
+	}
+	if _, err := ds.Project("zzz"); err == nil {
+		t.Error("expected unknown attribute error")
+	}
+	if _, err := ds.Project(); err == nil {
+		t.Error("expected empty projection error")
+	}
+}
+
+func TestSubsetAndSample(t *testing.T) {
+	ds := fig3(t)
+	_ = ds.AddTypeAttr("color", []string{"blue", "orange"}, []int{0, 1, 0, 1, 0})
+	sub, err := ds.Subset([]int{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 || sub.Item(0)[0] != 3.2 {
+		t.Errorf("subset wrong: %v", sub.Item(0))
+	}
+	ta, _ := sub.TypeAttr("color")
+	if ta.Values[1] != 0 {
+		t.Errorf("subset type values wrong: %v", ta.Values)
+	}
+	if _, err := ds.Subset([]int{99}); err == nil {
+		t.Error("expected out of range error")
+	}
+	r := rand.New(rand.NewSource(3))
+	s, idx, err := ds.Sample(3, r)
+	if err != nil || s.N() != 3 || len(idx) != 3 {
+		t.Fatalf("sample: %v", err)
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Error("sample with replacement detected")
+		}
+		seen[i] = true
+	}
+	if _, _, err := ds.Sample(0, r); err == nil {
+		t.Error("expected error for sample size 0")
+	}
+	if _, _, err := ds.Sample(99, r); err == nil {
+		t.Error("expected error for oversized sample")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ds, _ := New([]string{"a", "age"}, [][]float64{{0, 20}, {5, 30}, {10, 40}})
+	norm, err := ds.Normalize("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Item(0)[0] != 0 || norm.Item(2)[0] != 1 || norm.Item(1)[0] != 0.5 {
+		t.Errorf("min-max wrong: %v %v %v", norm.Item(0), norm.Item(1), norm.Item(2))
+	}
+	// age inverted: youngest (20) should get 1.
+	if norm.Item(0)[1] != 1 || norm.Item(2)[1] != 0 {
+		t.Errorf("inversion wrong: %v %v", norm.Item(0), norm.Item(2))
+	}
+	if _, err := ds.Normalize("zzz"); err == nil {
+		t.Error("expected unknown attribute error")
+	}
+}
+
+func TestNormalizeConstantColumn(t *testing.T) {
+	ds, _ := New([]string{"a", "const"}, [][]float64{{1, 7}, {2, 7}})
+	norm, err := ds.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Item(0)[1] != 0.5 || norm.Item(1)[1] != 0.5 {
+		t.Errorf("constant column should normalize to 0.5: %v", norm.Item(0))
+	}
+}
+
+func TestNormalizeCarriesTypes(t *testing.T) {
+	ds := fig3(t)
+	_ = ds.AddTypeAttr("color", []string{"blue", "orange"}, []int{0, 1, 0, 1, 0})
+	norm, err := ds.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := norm.TypeAttr("color"); err != nil {
+		t.Error("type attribute lost in normalization")
+	}
+}

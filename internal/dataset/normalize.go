@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"fmt"
+
+	"fairrank/internal/geom"
+)
+
+// Normalize rescales every scoring attribute to [0, 1] with the paper's
+// min-max rule (val − min)/(max − min). Attributes listed in lowerIsBetter
+// are additionally inverted (1 − normalized), matching the paper's handling
+// of COMPAS `age`, so that after normalization larger always means better.
+// Constant attributes map to 0.5 (any ranking function treats them as ties).
+// It returns a new dataset; the receiver is unchanged.
+func (ds *Dataset) Normalize(lowerIsBetter ...string) (*Dataset, error) {
+	invert := make([]bool, ds.D())
+	for _, name := range lowerIsBetter {
+		found := false
+		for j, existing := range ds.scoringNames {
+			if existing == name {
+				invert[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dataset: Normalize: unknown attribute %q", name)
+		}
+	}
+	n, d := ds.N(), ds.D()
+	if n == 0 {
+		return nil, fmt.Errorf("dataset: Normalize on empty dataset")
+	}
+	mins := ds.items[0].Clone()
+	maxs := ds.items[0].Clone()
+	for _, it := range ds.items[1:] {
+		for j := 0; j < d; j++ {
+			if it[j] < mins[j] {
+				mins[j] = it[j]
+			}
+			if it[j] > maxs[j] {
+				maxs[j] = it[j]
+			}
+		}
+	}
+	rows := make([][]float64, n)
+	for i, it := range ds.items {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			span := maxs[j] - mins[j]
+			var v float64
+			if span < geom.Eps {
+				v = 0.5
+			} else {
+				v = (it[j] - mins[j]) / span
+			}
+			if invert[j] {
+				v = 1 - v
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	out, err := New(ds.scoringNames, rows)
+	if err != nil {
+		return nil, err
+	}
+	for _, ta := range ds.types {
+		if err := out.AddTypeAttr(ta.Name, ta.Labels, ta.Values); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hyperplane is a hyperplane in the (d−1)-dimensional angle coordinate
+// system, in the paper's normalized form
+//
+//	Σ_k Coef[k]·θ_k = 1.
+//
+// The positive side h+ is {θ : Σ Coef[k]·θ_k ≥ 1} and the negative side h− is
+// {θ : Σ Coef[k]·θ_k ≤ 1}, matching §4.2.
+type Hyperplane struct {
+	Coef Vector
+	// Pair records which ordering exchange this hyperplane encodes: the
+	// indices of the two items whose relative order flips across it.
+	// (−1, −1) for hyperplanes not tied to an exchange.
+	I, J int
+}
+
+// Side is a side of a hyperplane.
+type Side int8
+
+// Sides of a hyperplane. On names: Below is h− (Σ coef·θ ≤ 1), Above is h+.
+const (
+	Below Side = -1 // h−
+	On    Side = 0
+	Above Side = 1 // h+
+)
+
+// Opposite returns the reflected side. On is its own opposite.
+func (s Side) Opposite() Side { return -s }
+
+func (s Side) String() string {
+	switch s {
+	case Below:
+		return "-"
+	case Above:
+		return "+"
+	default:
+		return "0"
+	}
+}
+
+// Eval returns Σ Coef[k]·θ_k − 1; negative on h−, positive on h+.
+func (h Hyperplane) Eval(theta Vector) float64 {
+	return h.Coef.Dot(theta) - 1
+}
+
+// SideOf classifies theta against the hyperplane with tolerance Eps scaled by
+// the coefficient norm, so classification is invariant under scaling of Coef.
+func (h Hyperplane) SideOf(theta Vector) Side {
+	v := h.Eval(theta)
+	tol := Eps * (1 + h.Coef.Norm())
+	switch {
+	case v < -tol:
+		return Below
+	case v > tol:
+		return Above
+	default:
+		return On
+	}
+}
+
+// CrossesBox reports whether the hyperplane intersects the closed box. It
+// evaluates the functional's min and max over the box corners coordinate-wise
+// (§5.1: compare against the "bottom-left" and "top-right" corners).
+func (h Hyperplane) CrossesBox(b Box) bool {
+	lo, hi := 0.0, 0.0
+	for k, c := range h.Coef {
+		if c >= 0 {
+			lo += c * b.Lo[k]
+			hi += c * b.Hi[k]
+		} else {
+			lo += c * b.Hi[k]
+			hi += c * b.Lo[k]
+		}
+	}
+	tol := Eps * (1 + h.Coef.Norm())
+	return lo <= 1+tol && hi >= 1-tol
+}
+
+func (h Hyperplane) String() string {
+	return fmt.Sprintf("h(%d,%d)%v=1", h.I, h.J, []float64(h.Coef))
+}
+
+// Box is an axis-aligned box [Lo_k, Hi_k] in the angle coordinate system.
+type Box struct {
+	Lo, Hi Vector
+}
+
+// FullAngleBox returns [0, π/2]^(d−1), the domain of all ranking functions
+// over d scoring attributes.
+func FullAngleBox(d int) Box {
+	lo := NewVector(d - 1)
+	hi := NewVector(d - 1)
+	for k := range hi {
+		hi[k] = math.Pi / 2
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Dim returns the dimensionality of the box.
+func (b Box) Dim() int { return len(b.Lo) }
+
+// Center returns the midpoint of the box.
+func (b Box) Center() Vector {
+	c := NewVector(b.Dim())
+	for k := range c {
+		c[k] = (b.Lo[k] + b.Hi[k]) / 2
+	}
+	return c
+}
+
+// Contains reports whether theta lies in the closed box (with Eps slack).
+func (b Box) Contains(theta Vector) bool {
+	for k := range theta {
+		if theta[k] < b.Lo[k]-Eps || theta[k] > b.Hi[k]+Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the Euclidean length of the box diagonal.
+func (b Box) Diameter() float64 {
+	var s float64
+	for k := range b.Lo {
+		d := b.Hi[k] - b.Lo[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Touches reports whether two boxes intersect as closed sets within tol
+// (used for cell adjacency in CELLCOLORING).
+func (b Box) Touches(o Box, tol float64) bool {
+	for k := range b.Lo {
+		if b.Lo[k] > o.Hi[k]+tol || o.Lo[k] > b.Hi[k]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Clip returns the box intersected with o. The result may be empty
+// (Lo > Hi in some coordinate); use IsEmpty to check.
+func (b Box) Clip(o Box) Box {
+	r := Box{Lo: b.Lo.Clone(), Hi: b.Hi.Clone()}
+	for k := range r.Lo {
+		r.Lo[k] = math.Max(r.Lo[k], o.Lo[k])
+		r.Hi[k] = math.Min(r.Hi[k], o.Hi[k])
+	}
+	return r
+}
+
+// IsEmpty reports whether the box has no interior in some coordinate.
+func (b Box) IsEmpty() bool {
+	for k := range b.Lo {
+		if b.Lo[k] > b.Hi[k]+Eps {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSideOf(t *testing.T) {
+	h := Hyperplane{Coef: Vector{1, 1}} // x + y = 1
+	cases := []struct {
+		p    Vector
+		want Side
+	}{
+		{Vector{0, 0}, Below},
+		{Vector{1, 1}, Above},
+		{Vector{0.5, 0.5}, On},
+		{Vector{0.25, 0.25}, Below},
+	}
+	for _, c := range cases {
+		if got := h.SideOf(c.p); got != c.want {
+			t.Errorf("SideOf(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSideOpposite(t *testing.T) {
+	if Below.Opposite() != Above || Above.Opposite() != Below || On.Opposite() != On {
+		t.Error("Opposite broken")
+	}
+	if Below.String() != "-" || Above.String() != "+" || On.String() != "0" {
+		t.Error("String broken")
+	}
+}
+
+func TestCrossesBox(t *testing.T) {
+	h := Hyperplane{Coef: Vector{1, 1}} // x + y = 1
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{Box{Vector{0, 0}, Vector{1, 1}}, true},
+		{Box{Vector{0, 0}, Vector{0.4, 0.4}}, false},    // entirely below
+		{Box{Vector{0.6, 0.6}, Vector{1, 1}}, false},    // entirely above
+		{Box{Vector{0.5, 0.5}, Vector{0.5, 0.5}}, true}, // degenerate point on h
+	}
+	for _, c := range cases {
+		if got := h.CrossesBox(c.b); got != c.want {
+			t.Errorf("CrossesBox(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+	// Negative coefficients exercise the corner-selection branches.
+	hn := Hyperplane{Coef: Vector{-1, 2}}
+	if !hn.CrossesBox(Box{Vector{0, 0}, Vector{1, 1}}) {
+		t.Error("negative-coefficient crossing missed")
+	}
+}
+
+// Property: CrossesBox agrees with dense sampling of the box.
+func TestCrossesBoxAgainstSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		d := 1 + r.Intn(3)
+		coef := NewVector(d)
+		for k := range coef {
+			coef[k] = (r.Float64() - 0.3) * 4
+		}
+		h := Hyperplane{Coef: coef}
+		b := Box{Lo: NewVector(d), Hi: NewVector(d)}
+		for k := 0; k < d; k++ {
+			a, c := r.Float64()*2, r.Float64()*2
+			b.Lo[k], b.Hi[k] = math.Min(a, c), math.Max(a, c)
+		}
+		// Sample: if any two samples straddle the plane, it must cross.
+		sawBelow, sawAbove := false, false
+		for s := 0; s < 200; s++ {
+			p := NewVector(d)
+			for k := range p {
+				p[k] = b.Lo[k] + r.Float64()*(b.Hi[k]-b.Lo[k])
+			}
+			switch h.SideOf(p) {
+			case Below:
+				sawBelow = true
+			case Above:
+				sawAbove = true
+			case On:
+				sawBelow, sawAbove = true, true
+			}
+		}
+		if sawBelow && sawAbove && !h.CrossesBox(b) {
+			t.Fatalf("sampling found crossing but CrossesBox=false: h=%v b=%v", h, b)
+		}
+		if h.CrossesBox(b) == false && sawBelow && sawAbove {
+			t.Fatalf("inconsistent")
+		}
+		// Converse with margin: if CrossesBox says no, all samples agree on one side.
+		if !h.CrossesBox(b) && sawBelow && sawAbove {
+			t.Fatalf("CrossesBox false negative")
+		}
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := Box{Vector{0, 0}, Vector{2, 4}}
+	c := b.Center()
+	if c[0] != 1 || c[1] != 2 {
+		t.Errorf("Center = %v", c)
+	}
+	if !b.Contains(Vector{1, 1}) || b.Contains(Vector{3, 1}) {
+		t.Error("Contains broken")
+	}
+	if !almostEq(b.Diameter(), math.Sqrt(4+16), 1e-12) {
+		t.Errorf("Diameter = %v", b.Diameter())
+	}
+	if b.Dim() != 2 {
+		t.Errorf("Dim = %d", b.Dim())
+	}
+}
+
+func TestFullAngleBox(t *testing.T) {
+	b := FullAngleBox(4)
+	if b.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", b.Dim())
+	}
+	for k := 0; k < 3; k++ {
+		if b.Lo[k] != 0 || !almostEq(b.Hi[k], math.Pi/2, 1e-15) {
+			t.Errorf("bounds wrong at %d: [%v,%v]", k, b.Lo[k], b.Hi[k])
+		}
+	}
+}
+
+func TestBoxTouchesClipEmpty(t *testing.T) {
+	a := Box{Vector{0, 0}, Vector{1, 1}}
+	b := Box{Vector{1, 0}, Vector{2, 1}}   // shares a facet
+	c := Box{Vector{1.5, 0}, Vector{2, 1}} // disjoint
+	if !a.Touches(b, 1e-9) {
+		t.Error("facet-sharing boxes should touch")
+	}
+	if a.Touches(c, 1e-9) {
+		t.Error("disjoint boxes should not touch")
+	}
+	clip := a.Clip(b)
+	if clip.IsEmpty() {
+		t.Error("facet clip should be degenerate but not empty beyond Eps")
+	}
+	clip2 := a.Clip(c)
+	if !clip2.IsEmpty() {
+		t.Errorf("clip of disjoint boxes should be empty, got %+v", clip2)
+	}
+}

@@ -1,0 +1,119 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Angles identifies a ray from the origin through the non-negative orthant of
+// R^d by d−1 angles, each in [0, π/2]. This is the paper's "angle coordinate
+// system" (§4.1): the satisfactory-region machinery for d > 2 operates on
+// points in [0, π/2]^(d−1).
+//
+// The convention follows Eq. 8 of the paper. With Θ_0 ≡ π/2 prepended, the
+// Cartesian coordinates of the unit point on the ray are
+//
+//	x_k = sin Θ_k · Π_{l=k+1..d−1} cos Θ_l,  k = 0..d−1.
+//
+// For d = 2 this reduces to (cos θ1, sin θ1): θ1 is the angle from the x-axis.
+type Angles []float64
+
+// Dim returns the dimensionality d of the ambient Cartesian space, which is
+// one more than the number of angles.
+func (a Angles) Dim() int { return len(a) + 1 }
+
+// Clone returns an independent copy.
+func (a Angles) Clone() Angles {
+	c := make(Angles, len(a))
+	copy(c, a)
+	return c
+}
+
+// InRange reports whether every angle lies in [−Eps, π/2+Eps].
+func (a Angles) InRange() bool {
+	for _, t := range a {
+		if t < -Eps || t > math.Pi/2+Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// ToCartesian converts the angles to the Cartesian unit vector on the ray,
+// scaled by r (paper's ToCartesian(r, Θ)).
+func (a Angles) ToCartesian(r float64) Vector {
+	d := a.Dim()
+	v := NewVector(d)
+	// Running product of cosines from the tail: prod_k = Π_{l>k-?}...
+	// Compute x_k = sin Θ_k · Π_{l=k+1..d-1} cos Θ_l with Θ_0 = π/2.
+	prod := 1.0
+	for k := d - 1; k >= 1; k-- {
+		v[k] = r * math.Sin(a[k-1]) * prod
+		prod *= math.Cos(a[k-1])
+	}
+	v[0] = r * prod // sin(π/2) = 1
+	return v
+}
+
+// ToPolar converts a weight vector in the non-negative orthant to its polar
+// representation (r, Θ). It returns an error for the zero vector or for
+// vectors with negative coordinates beyond tolerance, which do not correspond
+// to a valid ranking function.
+func ToPolar(w Vector) (r float64, a Angles, err error) {
+	if len(w) < 2 {
+		return 0, nil, fmt.Errorf("geom: ToPolar needs dimension ≥ 2, got %d", len(w))
+	}
+	if !w.IsNonNegative() {
+		return 0, nil, fmt.Errorf("geom: ToPolar requires a non-negative vector, got %v", w)
+	}
+	r = w.Norm()
+	if r < Eps {
+		return 0, nil, fmt.Errorf("geom: ToPolar undefined for zero vector")
+	}
+	d := len(w)
+	a = make(Angles, d-1)
+	// θ_k = atan2(x_k, sqrt(Σ_{j<k} x_j²)), inverse of Eq. 8.
+	for k := d - 1; k >= 1; k-- {
+		var below float64
+		for j := 0; j < k; j++ {
+			below += w[j] * w[j]
+		}
+		a[k-1] = math.Atan2(math.Max(w[k], 0), math.Sqrt(below))
+	}
+	return r, a, nil
+}
+
+// AngleDistance returns the angular distance between the rays identified by
+// angle vectors a and b (Eq. 10 of the paper). It is computed by converting
+// both to Cartesian unit vectors; the closed-form product expansion of Eq. 10
+// is algebraically identical (see TestEq10Equivalence).
+func AngleDistance(a, b Angles) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("geom: angle distance of mismatched dimensions %d and %d", len(a), len(b))
+	}
+	return RayDistance(a.ToCartesian(1), b.ToCartesian(1))
+}
+
+// AngleDistanceEq10 evaluates the paper's Eq. 10 literally:
+//
+//	θ_ij = arccos( Σ_k sin Θi_k sin Θj_k · Π_{l>k} cos Θi_l cos Θj_l )
+//
+// with Θ_0 = π/2 prepended. Exported for fidelity tests and documentation;
+// AngleDistance is the numerically preferred equivalent.
+func AngleDistanceEq10(a, b Angles) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("geom: angle distance of mismatched dimensions %d and %d", len(a), len(b))
+	}
+	ai := append(Angles{math.Pi / 2}, a...)
+	bi := append(Angles{math.Pi / 2}, b...)
+	n := len(ai)
+	var sum float64
+	for k := 0; k < n; k++ {
+		term := math.Sin(ai[k]) * math.Sin(bi[k])
+		for l := k + 1; l < n; l++ {
+			term *= math.Cos(ai[l]) * math.Cos(bi[l])
+		}
+		sum += term
+	}
+	return math.Acos(clamp(sum, -1, 1)), nil
+}

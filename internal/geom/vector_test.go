@@ -1,0 +1,198 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		{Vector{1, 2}, Vector{3, 4}, 11},
+		{Vector{0, 0, 0}, Vector{1, 2, 3}, 0},
+		{Vector{1, -1}, Vector{1, 1}, 0},
+		{Vector{2}, Vector{2.5}, 5},
+	}
+	for _, c := range cases {
+		if got := c.a.Dot(c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Dot(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched dimensions")
+		}
+	}()
+	Vector{1, 2}.Dot(Vector{1})
+}
+
+func TestNorm(t *testing.T) {
+	if got := (Vector{3, 4}).Norm(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := (Vector{0, 0}).Norm(); got != 0 {
+		t.Errorf("Norm zero = %v", got)
+	}
+}
+
+func TestAddSubScaleClone(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	if got := a.Add(b); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got[0] != 3 || got[1] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u, err := Vector{3, 4}.Unit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if _, err := (Vector{0, 0}).Unit(); err == nil {
+		t.Error("expected error normalizing zero vector")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !(Vector{0, 1}).IsNonNegative() {
+		t.Error("IsNonNegative failed for {0,1}")
+	}
+	if (Vector{-1, 1}).IsNonNegative() {
+		t.Error("IsNonNegative passed for {-1,1}")
+	}
+	if !(Vector{0, 1e-12}).IsZero() {
+		t.Error("IsZero failed for tiny vector")
+	}
+	if (Vector{0, 1}).IsZero() {
+		t.Error("IsZero passed for {0,1}")
+	}
+	if !(Vector{1, 2}).IsFinite() {
+		t.Error("IsFinite failed")
+	}
+	if (Vector{math.NaN(), 0}).IsFinite() || (Vector{math.Inf(1), 0}).IsFinite() {
+		t.Error("IsFinite passed for NaN/Inf")
+	}
+}
+
+func TestRayDistanceKnownAngles(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		// The paper's §2 examples: scalings are distance 0, x+y vs x is π/4.
+		{Vector{1, 1}, Vector{100, 100}, 0},
+		{Vector{1, 1}, Vector{1, 0}, math.Pi / 4},
+		{Vector{1, 0}, Vector{0, 1}, math.Pi / 2},
+		{Vector{1, 0, 0}, Vector{0, 0, 1}, math.Pi / 2},
+	}
+	for _, c := range cases {
+		got, err := RayDistance(c.a, c.b)
+		if err != nil {
+			t.Fatalf("RayDistance(%v,%v): %v", c.a, c.b, err)
+		}
+		// arccos loses precision near cos=1, so tolerance is sqrt(ulp)-ish.
+		if !almostEq(got, c.want, 1e-7) {
+			t.Errorf("RayDistance(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRayDistanceZeroVector(t *testing.T) {
+	if _, err := RayDistance(Vector{0, 0}, Vector{1, 1}); err == nil {
+		t.Error("expected error for zero vector")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Vector{2, 2}, Vector{1, 1}, true},
+		{Vector{1, 2}, Vector{1, 1}, true},
+		{Vector{1, 1}, Vector{1, 1}, false}, // equal: not strict
+		{Vector{2, 0}, Vector{1, 1}, false},
+		{Vector{1, 1}, Vector{2, 2}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randomPositiveVector(r *rand.Rand, d int) Vector {
+	v := NewVector(d)
+	for i := range v {
+		v[i] = r.Float64()*10 + 1e-3
+	}
+	return v
+}
+
+// Property: angular distance is a metric on rays in the positive orthant:
+// identity, symmetry, triangle inequality, scale invariance.
+func TestRayDistanceMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		d := 2 + r.Intn(5)
+		a := randomPositiveVector(r, d)
+		b := randomPositiveVector(r, d)
+		c := randomPositiveVector(r, d)
+		dab, _ := RayDistance(a, b)
+		dba, _ := RayDistance(b, a)
+		daa, _ := RayDistance(a, a)
+		dac, _ := RayDistance(a, c)
+		dcb, _ := RayDistance(c, b)
+		if !almostEq(dab, dba, 1e-9) {
+			t.Fatalf("symmetry violated: %v vs %v", dab, dba)
+		}
+		if daa > 1e-6 {
+			t.Fatalf("identity violated: d(a,a)=%v", daa)
+		}
+		if dab > dac+dcb+1e-9 {
+			t.Fatalf("triangle inequality violated: %v > %v + %v", dab, dac, dcb)
+		}
+		ds, _ := RayDistance(a.Scale(1+r.Float64()*100), b)
+		if !almostEq(dab, ds, 1e-7) {
+			t.Fatalf("scale invariance violated: %v vs %v", dab, ds)
+		}
+	}
+}
+
+func TestDominatesIrreflexiveAntisymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by uint16) bool {
+		a := Vector{float64(ax), float64(ay)}
+		b := Vector{float64(bx), float64(by)}
+		if Dominates(a, a) {
+			return false
+		}
+		// Antisymmetry: both cannot dominate each other.
+		return !(Dominates(a, b) && Dominates(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package lp implements exact linear programming for the low-dimensional
+// problems that arise when reasoning about arrangements of ordering-exchange
+// hyperplanes: feasibility of a convex region (a conjunction of half-spaces,
+// Eq. 6 of the paper), most-interior points of regions, and linear
+// optimization over regions (the linear oracle of the Frank–Wolfe solver in
+// package nlp).
+//
+// The solver is Seidel's randomized incremental algorithm, which runs in
+// expected O(d!·m) time for m constraints in d variables — effectively linear
+// in m for the d ≤ 7 ranking dimensions this system targets, and far better
+// suited than tableau simplex, whose tableaus would be m×m for these shapes.
+// Problems are always bounded by an explicit box, so unboundedness cannot
+// arise.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tol is the feasibility tolerance of the solver.
+const Tol = 1e-9
+
+// ErrInfeasible is returned when the constraint system has no solution.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// Constraint is a linear inequality A·x ≤ B.
+type Constraint struct {
+	A []float64
+	B float64
+}
+
+// Norm returns the Euclidean norm of the constraint's normal vector.
+func (c Constraint) Norm() float64 {
+	var s float64
+	for _, a := range c.A {
+		s += a * a
+	}
+	return math.Sqrt(s)
+}
+
+// Problem is a bounded linear program: maximize C·x subject to Cons and the
+// box Lo ≤ x ≤ Hi. The box is mandatory; it both guarantees boundedness and
+// anchors Seidel's recursion.
+type Problem struct {
+	C    []float64
+	Cons []Constraint
+	Lo   []float64
+	Hi   []float64
+}
+
+// Dim returns the number of variables.
+func (p *Problem) Dim() int { return len(p.C) }
+
+func (p *Problem) validate() error {
+	d := p.Dim()
+	if d == 0 {
+		return errors.New("lp: zero-dimensional problem")
+	}
+	if len(p.Lo) != d || len(p.Hi) != d {
+		return fmt.Errorf("lp: box dimension mismatch: c=%d lo=%d hi=%d", d, len(p.Lo), len(p.Hi))
+	}
+	for k := 0; k < d; k++ {
+		if p.Lo[k] > p.Hi[k]+Tol {
+			return fmt.Errorf("lp: empty box in dimension %d: [%v, %v]", k, p.Lo[k], p.Hi[k])
+		}
+	}
+	for i, c := range p.Cons {
+		if len(c.A) != d {
+			return fmt.Errorf("lp: constraint %d dimension %d, want %d", i, len(c.A), d)
+		}
+	}
+	return nil
+}
+
+// Solve maximizes the problem. rng drives the constraint shuffle that gives
+// Seidel's algorithm its expected-linear running time; pass a seeded source
+// for reproducibility. It returns ErrInfeasible when no point satisfies all
+// constraints and the box.
+func Solve(p *Problem, rng *rand.Rand) ([]float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cons := make([]Constraint, len(p.Cons))
+	copy(cons, p.Cons)
+	rng.Shuffle(len(cons), func(i, j int) { cons[i], cons[j] = cons[j], cons[i] })
+	return seidel(p.C, cons, p.Lo, p.Hi)
+}
+
+// seidel solves max c·x s.t. cons, lo ≤ x ≤ hi, assuming cons is already in
+// random order. Constraints must not be mutated (they may be shared).
+func seidel(c []float64, cons []Constraint, lo, hi []float64) ([]float64, error) {
+	d := len(c)
+	if d == 1 {
+		return seidel1D(c[0], cons, lo[0], hi[0])
+	}
+	x := boxOptimum(c, lo, hi)
+	for i, con := range cons {
+		scale := 1 + con.Norm() + math.Abs(con.B)
+		if dot(con.A, x) <= con.B+Tol*scale {
+			continue
+		}
+		// The optimum of cons[:i+1] lies on con's boundary: reduce to d−1
+		// variables by eliminating the coordinate with the largest |A_k|.
+		k := argmaxAbs(con.A)
+		if math.Abs(con.A[k]) < Tol*scale {
+			// Degenerate constraint 0·x ≤ B with B < current value: infeasible.
+			return nil, ErrInfeasible
+		}
+		red, err := reduceProblem(c, cons[:i], lo, hi, con, k)
+		if err != nil {
+			return nil, err
+		}
+		xr, err := seidel(red.C, red.Cons, red.Lo, red.Hi)
+		if err != nil {
+			return nil, err
+		}
+		x = liftSolution(xr, con, k)
+	}
+	return x, nil
+}
+
+// seidel1D maximizes c·x over an interval intersected with scalar constraints.
+func seidel1D(c float64, cons []Constraint, lo, hi float64) ([]float64, error) {
+	for _, con := range cons {
+		a, b := con.A[0], con.B
+		scale := 1 + math.Abs(a) + math.Abs(b)
+		switch {
+		case math.Abs(a) < Tol:
+			if b < -Tol*scale {
+				return nil, ErrInfeasible
+			}
+		case a > 0:
+			hi = math.Min(hi, b/a)
+		default:
+			lo = math.Max(lo, b/a)
+		}
+	}
+	if lo > hi {
+		if lo-hi <= Tol*(1+math.Abs(lo)+math.Abs(hi)) {
+			m := (lo + hi) / 2
+			return []float64{m}, nil
+		}
+		return nil, ErrInfeasible
+	}
+	if c >= 0 {
+		return []float64{hi}, nil
+	}
+	return []float64{lo}, nil
+}
+
+// reduced is a (d−1)-dimensional subproblem produced by pinning a constraint.
+type reduced struct {
+	C    []float64
+	Cons []Constraint
+	Lo   []float64
+	Hi   []float64
+}
+
+// reduceProblem substitutes x_k = (B − Σ_{j≠k} A_j x_j)/A_k into the
+// objective, the prior constraints, and the box bounds of x_k (which become
+// ordinary linear constraints in the reduced space).
+func reduceProblem(c []float64, prior []Constraint, lo, hi []float64, con Constraint, k int) (*reduced, error) {
+	d := len(c)
+	ak := con.A[k]
+	r := &reduced{
+		C:    make([]float64, 0, d-1),
+		Cons: make([]Constraint, 0, len(prior)+2),
+		Lo:   make([]float64, 0, d-1),
+		Hi:   make([]float64, 0, d-1),
+	}
+	for j := 0; j < d; j++ {
+		if j == k {
+			continue
+		}
+		r.C = append(r.C, c[j]-c[k]*con.A[j]/ak)
+		r.Lo = append(r.Lo, lo[j])
+		r.Hi = append(r.Hi, hi[j])
+	}
+	transform := func(g []float64, gk, gb float64) Constraint {
+		a := make([]float64, 0, d-1)
+		for j := 0; j < d; j++ {
+			if j == k {
+				continue
+			}
+			a = append(a, g[j]-gk*con.A[j]/ak)
+		}
+		return Constraint{A: a, B: gb - gk*con.B/ak}
+	}
+	for _, g := range prior {
+		r.Cons = append(r.Cons, transform(g.A, g.A[k], g.B))
+	}
+	// Box bounds on the eliminated variable: x_k ≤ hi_k and −x_k ≤ −lo_k.
+	ek := make([]float64, d)
+	r.Cons = append(r.Cons, transform(ek, 1, hi[k]))
+	r.Cons = append(r.Cons, transform(ek, -1, -lo[k]))
+	return r, nil
+}
+
+// liftSolution reinserts the eliminated coordinate.
+func liftSolution(xr []float64, con Constraint, k int) []float64 {
+	d := len(xr) + 1
+	x := make([]float64, d)
+	j := 0
+	for i := 0; i < d; i++ {
+		if i == k {
+			continue
+		}
+		x[i] = xr[j]
+		j++
+	}
+	s := con.B
+	for i := 0; i < d; i++ {
+		if i != k {
+			s -= con.A[i] * x[i]
+		}
+	}
+	x[k] = s / con.A[k]
+	return x
+}
+
+// boxOptimum returns the box corner maximizing c·x.
+func boxOptimum(c, lo, hi []float64) []float64 {
+	x := make([]float64, len(c))
+	for k := range c {
+		if c[k] >= 0 {
+			x[k] = hi[k]
+		} else {
+			x[k] = lo[k]
+		}
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func argmaxAbs(a []float64) int {
+	best, bi := math.Abs(a[0]), 0
+	for i := 1; i < len(a); i++ {
+		if v := math.Abs(a[i]); v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,183 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveKnown(t *testing.T) {
+	m := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := m.Solve([]float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := m.Solve([]float64{1, 2}); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	m := New(2, 3)
+	if _, err := m.Solve([]float64{1, 2}); err == nil {
+		t.Error("expected non-square error")
+	}
+	sq := Identity(2)
+	if _, err := sq.Solve([]float64{1}); err == nil {
+		t.Error("expected rhs length error")
+	}
+}
+
+func TestSolveRandomAgainstMulVec(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + r.Intn(7)
+		m := New(n, n)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b := m.MulVec(want)
+		x, err := m.Solve(b)
+		if err == ErrSingular {
+			continue // random singular matrix, fine
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("Solve mismatch at %d: %v vs %v", i, x, want)
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + r.Intn(6)
+		m := New(n, n)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		inv, err := m.Inverse()
+		if err == ErrSingular {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(p.At(i, j)-want) > 1e-6 {
+					t.Fatalf("m·m⁻¹ not identity: %v at (%d,%d)", p.At(i, j), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestInverseNonSquare(t *testing.T) {
+	if _, err := New(2, 3).Inverse(); err == nil {
+		t.Error("expected error for non-square inverse")
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		m    *Matrix
+		want int
+	}{
+		{Identity(3), 3},
+		{FromRows([][]float64{{1, 2}, {2, 4}}), 1},
+		{FromRows([][]float64{{0, 0}, {0, 0}}), 0},
+		{FromRows([][]float64{{1, 0, 0}, {0, 1, 0}}), 2},
+		{FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}), 2},
+	}
+	for i, c := range cases {
+		if got := c.m.Rank(1e-9); got != c.want {
+			t.Errorf("case %d: Rank = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestNullSpaceOfRow(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 500; iter++ {
+		d := 2 + r.Intn(6)
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		basis, err := NullSpaceOfRow(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(basis) != d-1 {
+			t.Fatalf("basis size %d, want %d", len(basis), d-1)
+		}
+		for i, b := range basis {
+			// Orthogonal to v.
+			var dot, norm float64
+			for k := range b {
+				dot += b[k] * v[k]
+				norm += b[k] * b[k]
+			}
+			if math.Abs(dot) > 1e-8*vecNorm(v) {
+				t.Fatalf("basis %d not orthogonal to v: %v", i, dot)
+			}
+			if math.Abs(norm-1) > 1e-8 {
+				t.Fatalf("basis %d not unit: %v", i, norm)
+			}
+			// Orthonormal among themselves.
+			for j := i + 1; j < len(basis); j++ {
+				var d2 float64
+				for k := range b {
+					d2 += b[k] * basis[j][k]
+				}
+				if math.Abs(d2) > 1e-8 {
+					t.Fatalf("basis %d,%d not orthogonal: %v", i, j, d2)
+				}
+			}
+		}
+	}
+}
+
+func TestNullSpaceZero(t *testing.T) {
+	if _, err := NullSpaceOfRow([]float64{0, 0, 0}); err == nil {
+		t.Error("expected error for zero functional")
+	}
+}
+
+func TestMulAndMulVecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).MulVec([]float64{1})
+}
+
+func vecNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

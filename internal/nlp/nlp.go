@@ -1,0 +1,133 @@
+// Package nlp solves the non-linear program at the heart of MDBASELINE
+// (Algorithm 6 of the paper): find the point of a convex polytope in the
+// angle coordinate system that minimizes the angular distance (Eq. 10) to a
+// query point. The feasible set is a conjunction of half-spaces plus the
+// angle box; the objective is smooth and convex on the box, so we use the
+// Frank–Wolfe (conditional gradient) method with the Seidel LP of package lp
+// as the linear-minimization oracle, warm-started from the region's most
+// interior point.
+package nlp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"fairrank/internal/geom"
+	"fairrank/internal/lp"
+)
+
+// Options tunes the Frank–Wolfe solver. The zero value is replaced by
+// defaults suitable for the ≤ 6-dimensional angle spaces of this system.
+type Options struct {
+	MaxIters int     // default 200
+	Tol      float64 // duality-gap style stopping tolerance, default 1e-7
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// ErrEmptyRegion is returned when the constraint region has no interior.
+var ErrEmptyRegion = errors.New("nlp: empty region")
+
+// ClosestAnglePoint minimizes the angular distance between the ray of query
+// and the ray of θ over {θ : cons, box}. It returns the minimizing point and
+// its angular distance to the query.
+func ClosestAnglePoint(query geom.Angles, cons []lp.Constraint, box geom.Box, opt Options, rng *rand.Rand) (geom.Angles, float64, error) {
+	opt = opt.withDefaults()
+	m := len(query)
+	if box.Dim() != m {
+		return nil, 0, errors.New("nlp: query and box dimension mismatch")
+	}
+	// Warm start: the most interior point of the region.
+	x0, _, err := lp.InteriorPoint(cons, box.Lo, box.Hi, rng)
+	if err != nil {
+		return nil, 0, ErrEmptyRegion
+	}
+	x := geom.Vector(x0).Clone()
+
+	qCart := query.ToCartesian(1)
+	obj := func(theta geom.Vector) float64 {
+		c, err := geom.CosineSimilarity(geom.Angles(theta).ToCartesian(1), qCart)
+		if err != nil {
+			return math.Pi // zero vector cannot happen for valid angles
+		}
+		// Minimizing −cos is equivalent to minimizing arccos but smooth at 0.
+		return -c
+	}
+	grad := func(theta geom.Vector) geom.Vector {
+		// Numerical gradient: the objective is cheap (O(d)) and d ≤ 6, so
+		// central differences are accurate and simpler than the closed form
+		// of ∂/∂θ of Eq. 10.
+		g := geom.NewVector(m)
+		const h = 1e-6
+		for k := 0; k < m; k++ {
+			tp := theta.Clone()
+			tm := theta.Clone()
+			tp[k] += h
+			tm[k] -= h
+			g[k] = (obj(tp) - obj(tm)) / (2 * h)
+		}
+		return g
+	}
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		g := grad(x)
+		// Linear oracle: minimize g·s over the region = maximize (−g)·s.
+		c := make([]float64, m)
+		for k := range c {
+			c[k] = -g[k]
+		}
+		s, err := lp.Maximize(c, cons, box.Lo, box.Hi, rng)
+		if err != nil {
+			return nil, 0, ErrEmptyRegion
+		}
+		dir := geom.Vector(s).Sub(x)
+		gap := -g.Dot(dir) // Frank–Wolfe duality gap estimate ≥ f(x) − f*
+		if gap < opt.Tol {
+			break
+		}
+		// Exact-ish line search on γ ∈ [0,1] by golden section: the
+		// objective restricted to a segment is unimodal on the angle box.
+		gamma := goldenSection(func(t float64) float64 {
+			return obj(x.Add(dir.Scale(t)))
+		}, 0, 1, 40)
+		if gamma < 1e-12 {
+			break
+		}
+		x = x.Add(dir.Scale(gamma))
+	}
+	dist, err := geom.AngleDistance(query, geom.Angles(x))
+	if err != nil {
+		return nil, 0, err
+	}
+	return geom.Angles(x), dist, nil
+}
+
+// goldenSection minimizes f on [a,b] with the given number of iterations and
+// returns the minimizing argument.
+func goldenSection(f func(float64) float64, a, b float64, iters int) float64 {
+	const invPhi = 0.6180339887498949
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for i := 0; i < iters; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}

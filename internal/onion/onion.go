@@ -1,0 +1,129 @@
+// Package onion implements the onion technique of Chang et al. (the
+// paper's reference [10]), which §8 proposes as the optimization for
+// top-k-limited fairness oracles: items are peeled into layers such that
+// the j-th best item under ANY non-negative linear scoring function lies
+// within the first j layers, so a top-k query only scores the first k
+// layers instead of the whole dataset.
+//
+// Two variants are provided:
+//
+//   - Build2D peels exact convex layers (upper-right hulls) of a
+//     2-attribute dataset — the classical onion index;
+//   - Build peels dominance layers in any dimension, a coarser but still
+//     correct layering (an item in the top-j is dominated by fewer than j
+//     items, hence lies in the first j dominance layers).
+package onion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/geom"
+)
+
+// Index answers top-k linear-scoring queries from a layered view of a
+// dataset.
+type Index struct {
+	ds     *dataset.Dataset
+	layers [][]int
+	// prefix[j] = items of layers[0..j] flattened, so a top-k query scans
+	// a single slice.
+	prefix [][]int
+}
+
+// Build peels the dataset into dominance layers (any dimension).
+func Build(ds *dataset.Dataset) (*Index, error) {
+	if ds.N() == 0 {
+		return nil, errors.New("onion: empty dataset")
+	}
+	return newIndex(ds, ds.DominanceLayers()), nil
+}
+
+// Build2D peels exact convex layers; the dataset must have exactly two
+// scoring attributes. Convex layers are never coarser than dominance
+// layers, so 2D queries scan fewer candidates.
+func Build2D(ds *dataset.Dataset) (*Index, error) {
+	if ds.D() != 2 {
+		return nil, fmt.Errorf("onion: Build2D requires 2 scoring attributes, got %d", ds.D())
+	}
+	if ds.N() == 0 {
+		return nil, errors.New("onion: empty dataset")
+	}
+	return newIndex(ds, ds.ConvexLayers2D()), nil
+}
+
+func newIndex(ds *dataset.Dataset, layers [][]int) *Index {
+	ix := &Index{ds: ds, layers: layers, prefix: make([][]int, len(layers))}
+	var flat []int
+	for j, layer := range layers {
+		flat = append(flat, layer...)
+		ix.prefix[j] = append([]int(nil), flat...)
+	}
+	return ix
+}
+
+// NumLayers returns the number of layers.
+func (ix *Index) NumLayers() int { return len(ix.layers) }
+
+// Layer returns the item indices of layer j (shared; read-only).
+func (ix *Index) Layer(j int) []int { return ix.layers[j] }
+
+// CandidateCount returns how many items a top-k query scans — the size of
+// the first min(k, L) layers. The speedup over a full scan is n divided by
+// this.
+func (ix *Index) CandidateCount(k int) int {
+	j := k - 1
+	if j >= len(ix.prefix) {
+		j = len(ix.prefix) - 1
+	}
+	if j < 0 {
+		return 0
+	}
+	return len(ix.prefix[j])
+}
+
+// TopK returns the top-k item indices under the non-negative weight vector
+// w (score descending, ties by ascending index), scanning only the first
+// min(k, L) layers. The result is identical to the first k entries of
+// ranking.Order.
+func (ix *Index) TopK(w geom.Vector, k int) ([]int, error) {
+	if len(w) != ix.ds.D() {
+		return nil, fmt.Errorf("onion: weight dimension %d, dataset has %d attributes", len(w), ix.ds.D())
+	}
+	if !geom.Vector(w).IsNonNegative() {
+		return nil, fmt.Errorf("onion: layering is only valid for non-negative weights, got %v", w)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("onion: k must be positive, got %d", k)
+	}
+	if k > ix.ds.N() {
+		k = ix.ds.N()
+	}
+	cand := ix.prefix[min(k, len(ix.prefix))-1]
+	scored := make([]int, len(cand))
+	copy(scored, cand)
+	scores := make(map[int]float64, len(cand))
+	for _, i := range cand {
+		scores[i] = w.Dot(ix.ds.Item(i))
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		sa, sb := scores[scored[a]], scores[scored[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return scored[a] < scored[b]
+	})
+	if k > len(scored) {
+		k = len(scored)
+	}
+	return scored[:k], nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package onion
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+)
+
+func randomDS(t *testing.T, r *rand.Rand, n, d int) *dataset.Dataset {
+	t.Helper()
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		rows[i] = row
+	}
+	ds, err := dataset.New(make([]string, d), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// Property: for random datasets, weights and k, the onion's TopK equals
+// the prefix of the full ordering — both variants.
+func TestTopKMatchesFullOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 60; iter++ {
+		d := 2 + r.Intn(3)
+		ds := randomDS(t, r, 10+r.Intn(60), d)
+		builders := []func(*dataset.Dataset) (*Index, error){Build}
+		if d == 2 {
+			builders = append(builders, Build2D)
+		}
+		for bi, build := range builders {
+			ix, err := build(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				w := make(geom.Vector, d)
+				for j := range w {
+					w[j] = r.Float64() + 1e-6
+				}
+				k := 1 + r.Intn(ds.N())
+				got, err := ix.TopK(w, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := ranking.Order(ds, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < k; i++ {
+					if got[i] != full[i] {
+						t.Fatalf("iter %d builder %d (d=%d k=%d): mismatch at %d: %v vs %v",
+							iter, bi, d, k, i, got, full[:k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCandidateCountShrinks(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	ds := randomDS(t, r, 500, 2)
+	ix, err := Build2D(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	if c := ix.CandidateCount(k); c >= ds.N() {
+		t.Errorf("onion scans %d of %d items for top-%d — no pruning", c, ds.N(), k)
+	}
+	if ix.NumLayers() < 2 {
+		t.Errorf("expected multiple layers, got %d", ix.NumLayers())
+	}
+	if len(ix.Layer(0)) == 0 {
+		t.Error("first layer empty")
+	}
+}
+
+func TestConvexTighterThanDominance(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	ds := randomDS(t, r, 400, 2)
+	conv, err := Build2D(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convex layers peel at least as aggressively for small k.
+	if conv.CandidateCount(5) > dom.CandidateCount(5) {
+		t.Errorf("convex onion scans more than dominance onion: %d vs %d",
+			conv.CandidateCount(5), dom.CandidateCount(5))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(74))
+	ds := randomDS(t, r, 10, 3)
+	if _, err := Build2D(ds); err == nil {
+		t.Error("expected dimension error for Build2D on 3D data")
+	}
+	ix, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.TopK(geom.Vector{1, 1}, 3); err == nil {
+		t.Error("expected weight dimension error")
+	}
+	if _, err := ix.TopK(geom.Vector{1, -1, 1}, 3); err == nil {
+		t.Error("expected negative-weight error")
+	}
+	if _, err := ix.TopK(geom.Vector{1, 1, 1}, 0); err == nil {
+		t.Error("expected k error")
+	}
+	if got, err := ix.TopK(geom.Vector{1, 1, 1}, 99); err != nil || len(got) != 10 {
+		t.Errorf("k>n should clamp: %v %v", got, err)
+	}
+	empty, _ := dataset.New([]string{"x"}, nil)
+	if _, err := Build(empty); err == nil {
+		t.Error("expected empty dataset error")
+	}
+}
+
+func BenchmarkOnionVsFullSort(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 20000
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64()}
+	}
+	ds, _ := dataset.New([]string{"x", "y"}, rows)
+	ix, err := Build2D(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := geom.Vector{0.3, 0.7}
+	b.Run("onion-top10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.TopK(w, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullsort-top10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ranking.Order(ds, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package ranking
+
+import (
+	"fmt"
+	"sort"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/geom"
+)
+
+// PartialOrder returns an ordering of the item indices whose first k
+// entries are exactly the top-k of the full ordering (score descending,
+// ties by ascending index), with the remaining entries in unspecified
+// order. It runs in O(n + k log k) expected time via quickselect instead
+// of the O(n log n) full sort — the fast path for fairness oracles that
+// inspect only a top-k prefix.
+func PartialOrder(ds *dataset.Dataset, w geom.Vector, k int) ([]int, error) {
+	n := ds.N()
+	if k >= n {
+		return Order(ds, w)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ranking: PartialOrder needs k ≥ 1, got %d", k)
+	}
+	s, err := Scores(ds, w)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// better reports whether item a strictly precedes item b.
+	better := func(a, b int) bool {
+		if s[a] != s[b] {
+			return s[a] > s[b]
+		}
+		return a < b
+	}
+	quickselect(order, k, better)
+	sort.Slice(order[:k], func(i, j int) bool { return better(order[i], order[j]) })
+	return order, nil
+}
+
+// quickselect partitions order so that the k best items (per better) occupy
+// order[:k], in expected linear time (median-of-three pivots; insertion
+// fallback for small ranges).
+func quickselect(order []int, k int, better func(a, b int) bool) {
+	lo, hi := 0, len(order)
+	// Deterministic pivot choice keeps results reproducible.
+	for hi-lo > 12 {
+		mid := lo + (hi-lo)/2
+		// Median of three: order[lo], order[mid], order[hi-1].
+		a, b, c := order[lo], order[mid], order[hi-1]
+		var pivot int
+		switch {
+		case better(a, b) == better(b, c):
+			pivot = b
+		case better(b, a) == better(a, c):
+			pivot = a
+		default:
+			pivot = c
+		}
+		// Partition around pivot.
+		i, j := lo, hi-1
+		for i <= j {
+			for better(order[i], pivot) {
+				i++
+			}
+			for better(pivot, order[j]) {
+				j--
+			}
+			if i <= j {
+				order[i], order[j] = order[j], order[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return // order[:k] holds the k best already
+		}
+	}
+	// Insertion sort the small remaining window.
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && better(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+// TopKAware is implemented by oracles that only inspect the first K items
+// of an ordering; index builders use it to rank partially instead of fully.
+type TopKAware interface {
+	K() int
+}

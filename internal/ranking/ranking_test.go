@@ -1,0 +1,120 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/geom"
+)
+
+func fig3(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.New([]string{"x", "y"}, [][]float64{
+		{1, 3.5}, {1.5, 3.1}, {1.91, 2.3}, {2.3, 1.8}, {3.2, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestScores(t *testing.T) {
+	ds := fig3(t)
+	s, err := Scores(ds, geom.Vector{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 1 || s[4] != 3.2 {
+		t.Errorf("scores = %v", s)
+	}
+	if _, err := Scores(ds, geom.Vector{1}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestOrderAxes(t *testing.T) {
+	ds := fig3(t)
+	// Along x the order is t5, t4, t3, t2, t1 (indices 4..0).
+	ox, err := Order(ds, geom.Vector{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{4, 3, 2, 1, 0} {
+		if ox[i] != want {
+			t.Fatalf("x order = %v", ox)
+		}
+	}
+	// Along y the order reverses.
+	oy, _ := Order(ds, geom.Vector{0, 1})
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if oy[i] != want {
+			t.Fatalf("y order = %v", oy)
+		}
+	}
+}
+
+func TestOrderTiesDeterministic(t *testing.T) {
+	ds, _ := dataset.New([]string{"x"}, [][]float64{{1}, {1}, {1}})
+	o, _ := Order(ds, geom.Vector{1})
+	if o[0] != 0 || o[1] != 1 || o[2] != 2 {
+		t.Errorf("tie order = %v, want index order", o)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	order := []int{3, 1, 2, 0}
+	if got := TopK(order, 2); len(got) != 2 || got[0] != 3 {
+		t.Errorf("TopK = %v", got)
+	}
+	if got := TopK(order, 99); len(got) != 4 {
+		t.Errorf("TopK overflow = %v", got)
+	}
+	if got := TopK(order, -1); len(got) != 0 {
+		t.Errorf("TopK negative = %v", got)
+	}
+}
+
+func TestMutableOrder(t *testing.T) {
+	m := NewMutableOrder([]int{2, 0, 1})
+	if m.Rank(2) != 0 || m.Rank(1) != 2 || m.Len() != 3 {
+		t.Fatalf("initial ranks wrong")
+	}
+	m.Swap(2, 1)
+	if m.Rank(1) != 0 || m.Rank(2) != 2 {
+		t.Errorf("after swap: order=%v", m.Order())
+	}
+	if m.Order()[0] != 1 || m.Order()[2] != 2 {
+		t.Errorf("order slice wrong: %v", m.Order())
+	}
+	c := m.Clone()
+	c.Swap(0, 1)
+	if m.Rank(0) == c.Rank(0) {
+		t.Error("clone aliases original")
+	}
+}
+
+// Property: a sequence of random swaps keeps order and pos consistent.
+func TestMutableOrderConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 50
+	init := r.Perm(n)
+	m := NewMutableOrder(init)
+	for step := 0; step < 1000; step++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		m.Swap(a, b)
+		if m.Order()[m.Rank(a)] != a || m.Order()[m.Rank(b)] != b {
+			t.Fatalf("inconsistent after step %d", step)
+		}
+	}
+	seen := make([]bool, n)
+	for _, it := range m.Order() {
+		if seen[it] {
+			t.Fatal("duplicate item in order")
+		}
+		seen[it] = true
+	}
+}

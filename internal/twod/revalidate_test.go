@@ -1,0 +1,73 @@
+package twod
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+)
+
+func TestRevalidateSameData(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	ds := randomColoredDS(t, r, 15)
+	oracle := topBlueOracle(ds, 4, 2, t)
+	idx, err := RaySweep(ds, oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Satisfiable() {
+		t.Skip("unsatisfiable instance")
+	}
+	report, err := idx.Revalidate(ds, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Healthy() {
+		t.Fatalf("index on unchanged data should be healthy: %+v", report)
+	}
+	if report.OracleCalls != report.Intervals {
+		t.Errorf("oracle calls %d, want %d", report.OracleCalls, report.Intervals)
+	}
+}
+
+func TestRevalidateDetectsDrift(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	ds := randomColoredDS(t, r, 15)
+	oracle := topBlueOracle(ds, 4, 2, t)
+	idx, err := RaySweep(ds, oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Satisfiable() {
+		t.Skip("unsatisfiable instance")
+	}
+	// Drift: an adversarial oracle that now rejects everything.
+	report, err := idx.Revalidate(ds, fairness.Func(func([]int) bool { return false }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Healthy() {
+		t.Fatal("all-false oracle must be detected as drift")
+	}
+	if len(report.Violations) != report.Intervals {
+		t.Errorf("violations = %v, want all %d intervals", report.Violations, report.Intervals)
+	}
+}
+
+func TestRevalidateDimensionMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	ds := randomColoredDS(t, r, 10)
+	oracle := topBlueOracle(ds, 3, 1, t)
+	idx, err := RaySweep(ds, oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Satisfiable() {
+		t.Skip("unsatisfiable instance")
+	}
+	bad, _ := dataset.New([]string{"a", "b", "c"}, [][]float64{{1, 2, 3}})
+	if _, err := idx.Revalidate(bad, oracle); err == nil {
+		t.Error("expected dimension error for 3-attribute dataset")
+	}
+}

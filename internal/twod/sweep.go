@@ -1,0 +1,283 @@
+// Package twod implements the two-dimensional pipeline of §3: the ordering
+// exchanges of item pairs are single angles in [0, π/2]; the ray-sweeping
+// algorithm 2DRAYSWEEP enumerates the sectors between consecutive exchange
+// angles, queries the fairness oracle once per sector, and indexes the
+// satisfactory angular intervals; the online algorithm 2DONLINE answers a
+// query function by binary search over the interval endpoints.
+package twod
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+)
+
+// Exchange is the ordering exchange of items I and J: the angle of the
+// unique ranking function scoring both equally (Eq. 2 of the paper, via the
+// equivalent direct form tan θ = −Δx/Δy).
+type Exchange struct {
+	Theta float64
+	I, J  int
+}
+
+// ExchangeAngles computes the ordering exchanges of every pair of items that
+// do not dominate each other. Pairs where one item dominates the other never
+// change relative order, and duplicate items never strictly swap, so neither
+// contributes an exchange. The result is sorted by angle.
+func ExchangeAngles(ds *dataset.Dataset) ([]Exchange, error) {
+	if ds.D() != 2 {
+		return nil, fmt.Errorf("twod: dataset has %d scoring attributes, want 2", ds.D())
+	}
+	n := ds.N()
+	var out []Exchange
+	for i := 0; i < n-1; i++ {
+		ti := ds.Item(i)
+		for j := i + 1; j < n; j++ {
+			tj := ds.Item(j)
+			if geom.Dominates(ti, tj) || geom.Dominates(tj, ti) {
+				continue
+			}
+			d1, d2 := ti[0]-tj[0], ti[1]-tj[1]
+			if math.Abs(d2) < geom.Eps {
+				continue // equal items (dominance already filtered Δy=0, Δx≠0)
+			}
+			r := -d1 / d2
+			if r <= geom.Eps {
+				continue // exchange outside (0, π/2): same order everywhere
+			}
+			out = append(out, Exchange{Theta: math.Atan(r), I: i, J: j})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Theta < out[b].Theta })
+	return out, nil
+}
+
+// Interval is a satisfactory angular range [Start, End] ⊆ [0, π/2]: every
+// ranking function with angle inside it produces a fair ordering.
+type Interval struct {
+	Start, End float64
+}
+
+// Contains reports whether theta lies in the closed interval.
+func (iv Interval) Contains(theta float64) bool {
+	return theta >= iv.Start-geom.Eps && theta <= iv.End+geom.Eps
+}
+
+// Index is the offline product of the 2D ray sweep: the sorted satisfactory
+// intervals (the paper's list S of region borders) plus sweep statistics.
+type Index struct {
+	intervals []Interval
+	// ExchangeCount is |Θ|, the number of ordering exchanges swept
+	// (plotted on the left axis of Fig. 17).
+	ExchangeCount int
+	// OracleCalls is the number of fairness-oracle evaluations performed.
+	OracleCalls int
+	// Sectors is the number of angular sectors examined.
+	Sectors int
+}
+
+// Options tunes RaySweep.
+type Options struct {
+	// Validate re-sorts the ordering from scratch inside every sector
+	// instead of maintaining it incrementally by swaps. Quadratically
+	// slower; used by tests to cross-check the incremental sweep.
+	Validate bool
+	// PruneTopK, when positive, drops ordering exchanges between pairs of
+	// items that are both dominated by at least PruneTopK others — such
+	// items never reach rank ≤ PruneTopK under any non-negative linear
+	// function, so those exchanges cannot change a top-k oracle's verdict.
+	// This is the §8 convex/dominance-layer optimization; it is exact for
+	// oracles that inspect only the top-PruneTopK prefix and unsound for
+	// oracles that look deeper.
+	PruneTopK int
+}
+
+// RaySweep is Algorithm 1 (2DRAYSWEEP): it sweeps a ray from the x-axis
+// (θ = 0) to the y-axis (θ = π/2), maintaining the induced ordering across
+// ordering exchanges, evaluating the oracle once per sector, and merging
+// consecutive satisfactory sectors into intervals.
+func RaySweep(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*Index, error) {
+	exchanges, err := ExchangeAngles(ds)
+	if err != nil {
+		return nil, err
+	}
+	if opt.PruneTopK > 0 {
+		candidate := make([]bool, ds.N())
+		for _, i := range ds.TopKCandidates(opt.PruneTopK) {
+			candidate[i] = true
+		}
+		kept := exchanges[:0]
+		for _, e := range exchanges {
+			if candidate[e.I] || candidate[e.J] {
+				kept = append(kept, e)
+			}
+		}
+		exchanges = kept
+	}
+	counter := &fairness.Counter{O: oracle}
+
+	// Initial ordering at θ → 0+: x descending, ties by y descending (the
+	// limit ordering just off the axis), then index for determinism.
+	n := ds.N()
+	init := make([]int, n)
+	for i := range init {
+		init[i] = i
+	}
+	sort.SliceStable(init, func(a, b int) bool {
+		ia, ib := ds.Item(init[a]), ds.Item(init[b])
+		if ia[0] != ib[0] {
+			return ia[0] > ib[0]
+		}
+		return ia[1] > ib[1]
+	})
+	mo := ranking.NewMutableOrder(init)
+
+	// Group exchanges at (numerically) identical angles: they must be
+	// applied together before the next sector is examined, and when three
+	// or more items meet at one angle the pairwise swap order is ambiguous,
+	// so such sectors are re-sorted from scratch.
+	const tieTol = 1e-12
+	idx := &Index{ExchangeCount: len(exchanges)}
+	var intervals []Interval
+	var curStart float64
+	inSat := false
+
+	sectorStart := 0.0
+	evaluate := func(start, end float64) error {
+		idx.Sectors++
+		order := mo.Order()
+		if opt.Validate {
+			mid := (start + end) / 2
+			w := geom.Vector{math.Cos(mid), math.Sin(mid)}
+			order, err = ranking.Order(ds, w)
+			if err != nil {
+				return err
+			}
+		}
+		if counter.Check(order) {
+			if !inSat {
+				inSat = true
+				curStart = start
+			}
+		} else if inSat {
+			inSat = false
+			intervals = append(intervals, Interval{Start: curStart, End: start})
+		}
+		return nil
+	}
+
+	i := 0
+	for i < len(exchanges) {
+		theta := exchanges[i].Theta
+		if err := evaluate(sectorStart, theta); err != nil {
+			return nil, err
+		}
+		// Apply every exchange at this angle.
+		j := i
+		for j < len(exchanges) && exchanges[j].Theta-theta <= tieTol {
+			mo.Swap(exchanges[j].I, exchanges[j].J)
+			j++
+		}
+		if j-i > 1 {
+			// Concurrent exchanges: rebuild the order exactly just past the
+			// boundary so later sectors stay correct.
+			next := math.Pi / 2
+			if j < len(exchanges) {
+				next = exchanges[j].Theta
+			}
+			mid := (theta + next) / 2
+			w := geom.Vector{math.Cos(mid), math.Sin(mid)}
+			order, err := ranking.Order(ds, w)
+			if err != nil {
+				return nil, err
+			}
+			mo = ranking.NewMutableOrder(order)
+		}
+		sectorStart = theta
+		i = j
+	}
+	if err := evaluate(sectorStart, math.Pi/2); err != nil {
+		return nil, err
+	}
+	if inSat {
+		intervals = append(intervals, Interval{Start: curStart, End: math.Pi / 2})
+	}
+	idx.intervals = intervals
+	idx.OracleCalls = counter.Calls
+	return idx, nil
+}
+
+// Intervals returns the satisfactory intervals in ascending order (shared
+// slice; treat as read-only).
+func (idx *Index) Intervals() []Interval { return idx.intervals }
+
+// Satisfiable reports whether any satisfactory function exists.
+func (idx *Index) Satisfiable() bool { return len(idx.intervals) > 0 }
+
+// ErrUnsatisfiable is returned by Query when no linear function satisfies
+// the oracle anywhere in [0, π/2].
+var ErrUnsatisfiable = errors.New("twod: no satisfactory ranking function exists")
+
+// Query is Algorithm 2 (2DONLINE): given a query weight vector it returns
+// the closest satisfactory weight vector by binary search over the interval
+// endpoints — the query itself when it is already satisfactory, otherwise
+// the nearest interval border, preserving the query's magnitude r.
+func (idx *Index) Query(w geom.Vector) (geom.Vector, float64, error) {
+	if len(w) != 2 {
+		return nil, 0, fmt.Errorf("twod: query weight vector has dimension %d, want 2", len(w))
+	}
+	r, a, err := geom.ToPolar(w)
+	if err != nil {
+		return nil, 0, err
+	}
+	theta := a[0]
+	if !idx.Satisfiable() {
+		return nil, 0, ErrUnsatisfiable
+	}
+	// Binary search for the first interval with End ≥ theta.
+	lo, hi := 0, len(idx.intervals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx.intervals[mid].End < theta {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	best := math.Inf(1)
+	bestTheta := theta
+	consider := func(iv Interval) {
+		if iv.Contains(theta) {
+			best, bestTheta = 0, theta
+			return
+		}
+		// Interval borders are ordering exchanges: exactly on one, two
+		// items tie and the tie-break may fall on the unfair side. Return
+		// a point nudged strictly inside the interval instead.
+		nudge := math.Min(1e-7, (iv.End-iv.Start)/1000)
+		for _, edge := range [2]struct{ pos, inner float64 }{
+			{iv.Start, iv.Start + nudge},
+			{iv.End, iv.End - nudge},
+		} {
+			if d := math.Abs(edge.pos - theta); d < best {
+				best, bestTheta = d, edge.inner
+			}
+		}
+	}
+	if lo < len(idx.intervals) {
+		consider(idx.intervals[lo])
+	}
+	if lo > 0 {
+		consider(idx.intervals[lo-1])
+	}
+	if best == 0 {
+		return w.Clone(), 0, nil
+	}
+	return geom.Vector{r * math.Cos(bestTheta), r * math.Sin(bestTheta)}, best, nil
+}
