@@ -68,6 +68,37 @@ func BenchmarkFig17RaySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepIncremental measures the payoff of the incremental fairness
+// oracles and the parallel segmented sweep: the same n=2000, d=2 TopK
+// workload as Fig. 17, swept (a) with a full Oracle.Check per sector (the
+// pre-incremental path), (b) with the O(1)-per-sector incremental state, and
+// (c) incrementally across all cores. The equivalence tests in internal/twod
+// prove all three produce byte-identical intervals and statistics.
+func BenchmarkSweepIncremental(b *testing.B) {
+	ds := compasBench(b, 2000, 2)
+	oracle := benchOracle(b, ds)
+	for _, v := range []struct {
+		name string
+		opt  twod.Options
+	}{
+		{"fullcheck-serial", twod.Options{FullCheck: true}},
+		{"incremental-serial", twod.Options{}},
+		{"incremental-parallel", twod.Options{Workers: -1}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var calls int
+			for i := 0; i < b.N; i++ {
+				idx, err := twod.RaySweep(ds, oracle, v.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = idx.OracleCalls
+			}
+			b.ReportMetric(float64(calls), "oracleCalls")
+		})
+	}
+}
+
 // Benchmark2DOnline regenerates the §6.3 2D measurement: 2DONLINE latency.
 // Compare against BenchmarkOrderingBaseline (the paper's 30µs vs 25ms).
 func Benchmark2DOnline(b *testing.B) {

@@ -44,6 +44,7 @@ var (
 	mode        = flag.String("mode", "auto", "engine: auto, 2d, exact, approx")
 	cellsN      = flag.Int("cells", 10000, "approximate-mode grid size N")
 	seed        = flag.Int64("seed", 1, "random seed")
+	workers     = flag.Int("workers", 0, "parallel preprocessing workers (0 = serial, -1 = all cores); 2d and approx modes")
 	saveIndex   = flag.String("save-index", "", "write the preprocessed approx index to this file")
 	loadIndex   = flag.String("load-index", "", "load a previously saved approx index instead of preprocessing")
 )
@@ -52,7 +53,7 @@ func main() {
 	flag.Parse()
 	ds := loadDataset()
 	oracle := buildOracle(ds)
-	cfg := fairrank.Config{Cells: *cellsN, Seed: *seed}
+	cfg := fairrank.Config{Cells: *cellsN, Seed: *seed, Workers: *workers}
 	switch *mode {
 	case "auto":
 		cfg.Mode = fairrank.ModeAuto

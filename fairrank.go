@@ -163,8 +163,9 @@ type Config struct {
 	// used as given. Capped cells fall back to CELLCOLORING, so answers
 	// remain oracle-verified; only the Theorem 6 distance bound softens.
 	CellRegionCap int
-	// Workers parallelizes the MARKCELL phase of ModeApprox preprocessing
-	// (0 = serial, negative = GOMAXPROCS).
+	// Workers parallelizes offline preprocessing: the MARKCELL phase of
+	// ModeApprox and the segmented ray sweep of Mode2D (0 = serial,
+	// negative = GOMAXPROCS). Results are identical for any worker count.
 	Workers int
 	// RefineQueries makes ModeApprox Suggest calls also consider the
 	// functions of axis-adjacent cells (never worse, O(d log N) extra).
@@ -225,7 +226,7 @@ func NewDesigner(ds *Dataset, oracle Oracle, cfg Config) (*Designer, error) {
 		if ds.D() != 2 {
 			return nil, fmt.Errorf("fairrank: Mode2D requires 2 scoring attributes, dataset has %d", ds.D())
 		}
-		idx, err := twod.RaySweep(ds, oracle, twod.Options{})
+		idx, err := twod.RaySweep(ds, oracle, twod.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -236,6 +237,9 @@ func NewDesigner(ds *Dataset, oracle Oracle, cfg Config) (*Designer, error) {
 			MaxHyperplanes: cfg.MaxHyperplanes,
 			Seed:           cfg.Seed,
 			PruneTopK:      cfg.PruneTopK,
+			// Adjacency-ordered incremental labeling is exact in 2D, where
+			// angle-space hyperplanes coincide with the exchange angles.
+			IncrementalLabeling: ds.D() == 2,
 		})
 		if err != nil {
 			return nil, err

@@ -52,6 +52,41 @@ func TestDesigner2DEndToEnd(t *testing.T) {
 	}
 }
 
+// Config.Workers now drives the Mode2D segmented sweep; any worker count
+// must produce the same suggestions as the serial designer.
+func TestMode2DWorkersEquivalent(t *testing.T) {
+	ds := admissionsDS(t)
+	oracle, err := MinShare(ds, "group", "protected", 0.2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewDesigner(ds, oracle, Config{Mode: Mode2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewDesigner(ds, oracle, Config{Mode: Mode2D, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Satisfiable() != parallel.Satisfiable() {
+		t.Fatal("satisfiability differs between serial and parallel designers")
+	}
+	if !serial.Satisfiable() {
+		t.Skip("instance unsatisfiable (generator quirk)")
+	}
+	for _, q := range [][]float64{{0.5, 0.5}, {0.9, 0.1}, {0.05, 0.95}, {1, 1}} {
+		s1, err1 := serial.Suggest(q)
+		s2, err2 := parallel.Suggest(q)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if s1.Distance != s2.Distance || s1.AlreadyFair != s2.AlreadyFair ||
+			s1.Weights[0] != s2.Weights[0] || s1.Weights[1] != s2.Weights[1] {
+			t.Errorf("query %v: serial %+v vs parallel %+v", q, s1, s2)
+		}
+	}
+}
+
 func TestDesignerApproxEndToEnd(t *testing.T) {
 	ds, err := datagen.CompasNormalized(60, 3)
 	if err != nil {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+)
+
+// labelRegionsIncremental labels every region of the arrangement with the
+// oracle's verdict by visiting regions in adjacency order: two regions are
+// adjacent when their hyperplane sign vectors differ in exactly one
+// hyperplane, and crossing that hyperplane exchanges exactly the hyperplane's
+// item pair in the induced ordering. A DFS over the adjacency graph therefore
+// needs one ordering swap per edge (applied on entry, undone on backtrack)
+// and one O(1) incremental oracle probe per region, instead of one full
+// O(n log n) sort plus O(k) oracle read per region. Each connected component
+// of the graph is seeded with one full sort at its root witness; isolated
+// regions degrade to exactly the old per-witness cost.
+func labelRegionsIncremental(idx *MDIndex, counter *fairness.Counter, itemIDs []int) error {
+	regions := idx.Arr.Regions()
+	hps := idx.Arr.Hyperplanes
+	nR, nH := len(regions), len(hps)
+	if nR == 0 {
+		return nil
+	}
+
+	// Sign vector of every region at its witness (On resolves to Below,
+	// matching Arrangement.Locate), plus a zobrist hash per region so the
+	// single-flip neighbor of a region is an O(1) expected lookup: flipping
+	// hyperplane h XORs zob[h] into the hash.
+	zobRng := rand.New(rand.NewSource(0x5eed))
+	zob := make([]uint64, nH)
+	for h := range zob {
+		zob[h] = zobRng.Uint64()
+	}
+	signs := make([][]bool, nR) // true = Above
+	hashes := make([]uint64, nR)
+	buckets := make(map[uint64][]int, nR)
+	for r, reg := range regions {
+		s := make([]bool, nH)
+		var hash uint64
+		for h := range hps {
+			if hps[h].SideOf(reg.Witness) == geom.Above {
+				s[h] = true
+				hash ^= zob[h]
+			}
+		}
+		signs[r] = s
+		hashes[r] = hash
+		buckets[hash] = append(buckets[hash], r)
+	}
+	// neighbor returns the region on the other side of hyperplane h, or −1.
+	neighbor := func(r, h int) int {
+		want := hashes[r] ^ zob[h]
+		for _, c := range buckets[want] {
+			if c == r {
+				continue
+			}
+			diff := 0
+			for k := 0; k < nH && diff <= 1; k++ {
+				if signs[c][k] != signs[r][k] {
+					diff++
+					if k != h {
+						diff = 2
+					}
+				}
+			}
+			if diff == 1 {
+				return c
+			}
+		}
+		return -1
+	}
+
+	inc := fairness.NewIncremental(counter)
+	var bufs ranking.Buffers
+	var mo *ranking.MutableOrder
+	visited := make([]bool, nR)
+
+	// swapPair crosses hyperplane h: its item pair exchanges ranks.
+	swapPair := func(h int) {
+		a, b := itemIDs[hps[h].I], itemIDs[hps[h].J]
+		posA, posB := mo.Swap(a, b)
+		inc.Swap(posA, posB)
+	}
+
+	// Iterative DFS: the 2D exact mode produces a path-shaped adjacency
+	// graph with O(n²) regions, so recursion depth would grow quadratically
+	// in the dataset size and overflow the goroutine stack.
+	type frame struct {
+		region int
+		nextH  int // next hyperplane to try crossing
+		viaH   int // hyperplane crossed to enter this region (−1 at a root)
+	}
+	visit := func(root int) {
+		visited[root] = true
+		regions[root].Satisfactory = inc.Valid()
+		stack := []frame{{region: root, nextH: 0, viaH: -1}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.nextH >= nH {
+				if f.viaH >= 0 {
+					swapPair(f.viaH) // undo on backtrack (a swap is its own inverse)
+				}
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			h := f.nextH
+			f.nextH++
+			c := neighbor(f.region, h)
+			if c < 0 || visited[c] {
+				continue
+			}
+			swapPair(h)
+			visited[c] = true
+			regions[c].Satisfactory = inc.Valid()
+			stack = append(stack, frame{region: c, nextH: 0, viaH: h})
+		}
+	}
+
+	for r := range regions {
+		if visited[r] {
+			continue
+		}
+		// New component: seed the ordering with one full sort at the root
+		// witness.
+		w := geom.Angles(regions[r].Witness).ToCartesian(1)
+		order, err := bufs.Order(idx.DS, w)
+		if err != nil {
+			return err
+		}
+		if mo == nil {
+			mo = ranking.NewMutableOrder(order)
+		} else {
+			mo.Reset(order)
+		}
+		inc.Begin(mo.Order())
+		visit(r)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+)
+
+func colored2D(t *testing.T, r *rand.Rand, n int) *dataset.Dataset {
+	t.Helper()
+	rows := make([][]float64, n)
+	colors := make([]int, n)
+	for i := range rows {
+		rows[i] = []float64{r.Float64() * 10, r.Float64() * 10}
+		colors[i] = r.Intn(2)
+	}
+	ds, err := dataset.New([]string{"x", "y"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddTypeAttr("color", []string{"blue", "orange"}, colors); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// In 2D the angle-space hyperplanes are exact, so adjacency-ordered
+// incremental labeling must reproduce the full-sort labeling region by
+// region, with the same oracle-call count.
+func TestIncrementalLabelingExact2D(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 8; iter++ {
+		ds := colored2D(t, r, 8+r.Intn(10))
+		oracle, err := fairness.NewTopK(ds, "color", 3, []fairness.GroupBound{{Group: "blue", Min: -1, Max: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := SatRegions(ds, oracle, Options{UseTree: true, Seed: int64(iter)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := SatRegions(ds, oracle, Options{UseTree: true, Seed: int64(iter), IncrementalLabeling: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, ir := full.Arr.Regions(), inc.Arr.Regions()
+		if len(fr) != len(ir) {
+			t.Fatalf("iter %d: region counts differ %d vs %d", iter, len(fr), len(ir))
+		}
+		for k := range fr {
+			if fr[k].Satisfactory != ir[k].Satisfactory {
+				t.Fatalf("iter %d: region %d verdict differs: full %v vs incremental %v",
+					iter, k, fr[k].Satisfactory, ir[k].Satisfactory)
+			}
+		}
+		if full.OracleCalls != inc.OracleCalls {
+			t.Errorf("iter %d: oracle calls %d vs %d", iter, full.OracleCalls, inc.OracleCalls)
+		}
+		if len(full.Sat) != len(inc.Sat) {
+			t.Errorf("iter %d: |Sat| %d vs %d", iter, len(full.Sat), len(inc.Sat))
+		}
+	}
+}
+
+// PruneTopK composes with incremental labeling (hyperplane pair indices map
+// back to dataset item ids through the candidate list).
+func TestIncrementalLabelingPruned2D(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 5; iter++ {
+		ds := colored2D(t, r, 16)
+		oracle, err := fairness.NewTopK(ds, "color", 4, []fairness.GroupBound{{Group: "blue", Min: -1, Max: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := SatRegions(ds, oracle, Options{Seed: 5, PruneTopK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := SatRegions(ds, oracle, Options{Seed: 5, PruneTopK: 4, IncrementalLabeling: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, ir := full.Arr.Regions(), inc.Arr.Regions()
+		for k := range fr {
+			if fr[k].Satisfactory != ir[k].Satisfactory {
+				t.Fatalf("iter %d: region %d verdict differs under pruning", iter, k)
+			}
+		}
+	}
+}
+
+// For d ≥ 3 the hyperplanes interpolate a curved surface, so incremental
+// labeling follows the arrangement's side semantics rather than exact
+// re-sorts; it must still run, label every region, and agree with full
+// labeling on satisfiability for these instances.
+func TestIncrementalLabeling3DSmoke(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 4; iter++ {
+		ds := colored3D(t, r, 7)
+		oracle, err := fairness.NewTopK(ds, "color", 3, []fairness.GroupBound{{Group: "blue", Min: -1, Max: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := SatRegions(ds, oracle, Options{UseTree: true, Seed: int64(iter)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := SatRegions(ds, oracle, Options{UseTree: true, Seed: int64(iter), IncrementalLabeling: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inc.OracleCalls != inc.Arr.NumRegions() {
+			t.Errorf("iter %d: oracle calls %d, want one per region (%d)", iter, inc.OracleCalls, inc.Arr.NumRegions())
+		}
+		if full.Satisfiable() != inc.Satisfiable() {
+			t.Errorf("iter %d: satisfiability disagrees: full %v vs incremental %v",
+				iter, full.Satisfiable(), inc.Satisfiable())
+		}
+	}
+}

@@ -38,6 +38,15 @@ type Options struct {
 	// any top-k (dominated by ≥ k others) — the §8 convex-layers
 	// optimization. Use the oracle's k.
 	PruneTopK int
+	// IncrementalLabeling visits regions in adjacency order (a DFS over the
+	// regions' sign vectors, where neighbors differ in exactly one
+	// hyperplane) and drives the oracle's incremental state through single
+	// swaps instead of re-sorting the dataset per region witness. Exact for
+	// d = 2 (angle-space hyperplanes are exact there); for d > 2 the region
+	// orderings follow the arrangement's interpolated hyperplane sides, the
+	// same approximation the arrangement itself makes. Regions unreachable
+	// by single-flip adjacency fall back to a full sort.
+	IncrementalLabeling bool
 }
 
 // MDIndex is the offline product of SatRegions.
@@ -64,6 +73,7 @@ func SatRegions(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*MDIn
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 
 	items := make([]geom.Vector, 0, ds.N())
+	var itemIDs []int // hyperplane pair index → dataset item index
 	if opt.PruneTopK > 0 {
 		// An item dominated by ≥ k others never reaches rank ≤ k under any
 		// non-negative linear function, so for oracles that inspect only
@@ -74,10 +84,12 @@ func SatRegions(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*MDIn
 		cand := ds.TopKCandidates(opt.PruneTopK)
 		for _, i := range cand {
 			items = append(items, ds.Item(i))
+			itemIDs = append(itemIDs, i)
 		}
 	} else {
 		for i := 0; i < ds.N(); i++ {
 			items = append(items, ds.Item(i))
+			itemIDs = append(itemIDs, i)
 		}
 	}
 	hs, err := arrangement.BuildHyperplanes(items)
@@ -101,18 +113,26 @@ func SatRegions(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*MDIn
 		rng:             rng,
 	}
 	counter := &fairness.Counter{O: oracle}
-	for _, r := range arr.Regions() {
-		w := geom.Angles(r.Witness).ToCartesian(1)
-		order, err := ranking.Order(ds, w)
-		if err != nil {
+	if opt.IncrementalLabeling {
+		if err := labelRegionsIncremental(idx, counter, itemIDs); err != nil {
 			return nil, err
 		}
-		r.Satisfactory = counter.Check(order)
+	} else {
+		for _, r := range arr.Regions() {
+			w := geom.Angles(r.Witness).ToCartesian(1)
+			order, err := ranking.Order(ds, w)
+			if err != nil {
+				return nil, err
+			}
+			r.Satisfactory = counter.Check(order)
+		}
+	}
+	for _, r := range arr.Regions() {
 		if r.Satisfactory {
 			idx.Sat = append(idx.Sat, r)
 		}
 	}
-	idx.OracleCalls = counter.Calls
+	idx.OracleCalls = counter.Calls()
 	return idx, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"fairrank/internal/dataset"
 )
@@ -319,13 +320,24 @@ func combinedDepth(members []Oracle) int {
 
 // Counter wraps an oracle and counts Check calls; every offline algorithm in
 // the paper is measured in oracle calls (the O_n term of Theorems 1 and 3).
+// The counter is atomic, so one Counter may be shared by the concurrent
+// workers of the parallel sweep and MarkCellsParallel.
 type Counter struct {
 	O     Oracle
-	Calls int
+	calls atomic.Int64
 }
 
-// Check implements Oracle.
+// Check implements Oracle. Safe for concurrent use when O is.
 func (c *Counter) Check(order []int) bool {
-	c.Calls++
+	c.calls.Add(1)
 	return c.O.Check(order)
 }
+
+// Calls returns the number of Check (and incremental Valid) evaluations so
+// far.
+func (c *Counter) Calls() int { return int(c.calls.Load()) }
+
+// Add bumps the call count by n without evaluating the oracle — used by
+// incremental states that answer a probe in O(1) but still represent one
+// logical oracle call.
+func (c *Counter) Add(n int) { c.calls.Add(int64(n)) }

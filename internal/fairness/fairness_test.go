@@ -261,7 +261,7 @@ func TestCounter(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		c.Check(nil)
 	}
-	if c.Calls != 7 {
-		t.Errorf("Calls = %d", c.Calls)
+	if c.Calls() != 7 {
+		t.Errorf("Calls = %d", c.Calls())
 	}
 }

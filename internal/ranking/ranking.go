@@ -6,7 +6,7 @@ package ranking
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/geom"
@@ -35,12 +35,51 @@ func Order(ds *dataset.Dataset, w geom.Vector) ([]int, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if s[order[a]] != s[order[b]] {
-			return s[order[a]] > s[order[b]]
+	sortByScore(order, s)
+	return order, nil
+}
+
+// sortByScore sorts items by descending score, ties by ascending index — a
+// strict total order, so the (faster) non-stable sort is deterministic.
+func sortByScore(order []int, s []float64) {
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case s[a] > s[b]:
+			return -1
+		case s[a] < s[b]:
+			return 1
+		default:
+			return a - b
 		}
-		return order[a] < order[b]
 	})
+}
+
+// Buffers holds reusable score and order scratch space for repeated full
+// sorts over the same dataset — the sweep's segment seeds and tie-group
+// rebuilds would otherwise allocate two slices per rebuild.
+type Buffers struct {
+	scores []float64
+	order  []int
+}
+
+// Order is ranking.Order into the reusable buffers. The returned slice
+// aliases the buffer and is valid until the next call.
+func (b *Buffers) Order(ds *dataset.Dataset, w geom.Vector) ([]int, error) {
+	if len(w) != ds.D() {
+		return nil, fmt.Errorf("ranking: weight dimension %d, dataset has %d attributes", len(w), ds.D())
+	}
+	n := ds.N()
+	if cap(b.scores) < n {
+		b.scores = make([]float64, n)
+		b.order = make([]int, n)
+	}
+	s := b.scores[:n]
+	order := b.order[:n]
+	for i := 0; i < n; i++ {
+		s[i] = w.Dot(ds.Item(i))
+		order[i] = i
+	}
+	sortByScore(order, s)
 	return order, nil
 }
 
@@ -75,11 +114,30 @@ func NewMutableOrder(order []int) *MutableOrder {
 	return m
 }
 
-// Swap exchanges the ranks of items a and b.
-func (m *MutableOrder) Swap(a, b int) {
+// Swap exchanges the ranks of items a and b and returns the two positions
+// that changed — the hook incremental fairness oracles need to update their
+// top-k state in O(1) (fairness.Incremental.Swap takes positions, not item
+// ids).
+func (m *MutableOrder) Swap(a, b int) (posA, posB int) {
 	ra, rb := m.pos[a], m.pos[b]
 	m.order[ra], m.order[rb] = b, a
 	m.pos[a], m.pos[b] = rb, ra
+	return ra, rb
+}
+
+// Reset re-seeds the mutable order from a permutation, reusing the existing
+// buffers (the arrangement labeler calls this once per adjacency-graph
+// component re-seed).
+func (m *MutableOrder) Reset(order []int) {
+	if len(order) != len(m.order) {
+		m.order = append([]int(nil), order...)
+		m.pos = make([]int, len(order))
+	} else {
+		copy(m.order, order)
+	}
+	for r, it := range m.order {
+		m.pos[it] = r
+	}
 }
 
 // Order returns the current ordering (shared slice; treat as read-only).

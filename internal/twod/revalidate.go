@@ -52,6 +52,6 @@ func (idx *Index) Revalidate(ds *dataset.Dataset, oracle fairness.Oracle) (Drift
 			report.Violations = append(report.Violations, i)
 		}
 	}
-	report.OracleCalls = counter.Calls
+	report.OracleCalls = counter.Calls()
 	return report, nil
 }

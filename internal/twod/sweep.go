@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/fairness"
@@ -29,33 +31,184 @@ type Exchange struct {
 // ExchangeAngles computes the ordering exchanges of every pair of items that
 // do not dominate each other. Pairs where one item dominates the other never
 // change relative order, and duplicate items never strictly swap, so neither
-// contributes an exchange. The result is sorted by angle.
+// contributes an exchange. The result is sorted by angle (ties by item pair,
+// making the output a deterministic total order).
 func ExchangeAngles(ds *dataset.Dataset) ([]Exchange, error) {
+	return exchangeAngles(ds, 1)
+}
+
+// cmpExchange is the strict total order on exchanges: angle, then item pair.
+func cmpExchange(a, b Exchange) int {
+	switch {
+	case a.Theta < b.Theta:
+		return -1
+	case a.Theta > b.Theta:
+		return 1
+	case a.I != b.I:
+		return a.I - b.I
+	default:
+		return a.J - b.J
+	}
+}
+
+// exchangeAngles is ExchangeAngles with the O(n²) pair enumeration and the
+// sort spread over the given number of workers: rows of the pair triangle
+// are split into chunks of roughly equal pair counts, each chunk is built
+// and sorted concurrently, and the sorted chunks are merged pairwise. The
+// comparator is a total order, so the result is identical for every worker
+// count.
+func exchangeAngles(ds *dataset.Dataset, workers int) ([]Exchange, error) {
 	if ds.D() != 2 {
 		return nil, fmt.Errorf("twod: dataset has %d scoring attributes, want 2", ds.D())
 	}
 	n := ds.N()
-	var out []Exchange
-	for i := 0; i < n-1; i++ {
-		ti := ds.Item(i)
-		for j := i + 1; j < n; j++ {
-			tj := ds.Item(j)
-			if geom.Dominates(ti, tj) || geom.Dominates(tj, ti) {
-				continue
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Flat coordinate arrays keep the O(n²) inner loop free of slice-header
+	// indirection; the dominance test is geom.Dominates inlined for d = 2 on
+	// the pair deltas.
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		it := ds.Item(i)
+		xs[i], ys[i] = it[0], it[1]
+	}
+	const eps = geom.Eps
+	buildRows := func(rowLo, rowHi int) []Exchange {
+		pairs := 0
+		for i := rowLo; i < rowHi; i++ {
+			pairs += n - 1 - i
+		}
+		out := make([]Exchange, 0, pairs/3+16)
+		for i := rowLo; i < rowHi; i++ {
+			xi, yi := xs[i], ys[i]
+			for j := i + 1; j < n; j++ {
+				dx, dy := xi-xs[j], yi-ys[j]
+				if dx >= -eps && dy >= -eps && (dx > eps || dy > eps) {
+					continue // i dominates j
+				}
+				if dx <= eps && dy <= eps && (dx < -eps || dy < -eps) {
+					continue // j dominates i
+				}
+				if math.Abs(dy) < eps {
+					continue // equal items (dominance already filtered Δy=0, Δx≠0)
+				}
+				r := -dx / dy
+				if r <= eps {
+					continue // exchange outside (0, π/2): same order everywhere
+				}
+				out = append(out, Exchange{Theta: math.Atan(r), I: i, J: j})
 			}
-			d1, d2 := ti[0]-tj[0], ti[1]-tj[1]
-			if math.Abs(d2) < geom.Eps {
-				continue // equal items (dominance already filtered Δy=0, Δx≠0)
+		}
+		return out
+	}
+	if workers == 1 {
+		out := buildRows(0, n)
+		sortExchanges(out)
+		return out, nil
+	}
+	// Row i contributes n−1−i pairs; hand each worker a contiguous row range
+	// holding ~1/workers of the n(n−1)/2 total.
+	chunks := make([][]Exchange, workers)
+	var wg sync.WaitGroup
+	rowLo := 0
+	totalPairs := n * (n - 1) / 2
+	for w := 0; w < workers; w++ {
+		rowHi := rowLo
+		if w == workers-1 {
+			rowHi = n
+		} else {
+			target := totalPairs / workers
+			for pairs := 0; rowHi < n && pairs < target; rowHi++ {
+				pairs += n - 1 - rowHi
 			}
-			r := -d1 / d2
-			if r <= geom.Eps {
-				continue // exchange outside (0, π/2): same order everywhere
-			}
-			out = append(out, Exchange{Theta: math.Atan(r), I: i, J: j})
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := buildRows(lo, hi)
+			sortExchanges(c)
+			chunks[w] = c
+		}(w, rowLo, rowHi)
+		rowLo = rowHi
+	}
+	wg.Wait()
+	// Pairwise merge tree: log(workers) rounds, merges within a round run
+	// concurrently.
+	for len(chunks) > 1 {
+		merged := make([][]Exchange, (len(chunks)+1)/2)
+		var mg sync.WaitGroup
+		for m := 0; m < len(chunks)/2; m++ {
+			mg.Add(1)
+			go func(m int) {
+				defer mg.Done()
+				merged[m] = mergeExchanges(chunks[2*m], chunks[2*m+1])
+			}(m)
+		}
+		if len(chunks)%2 == 1 {
+			merged[len(merged)-1] = chunks[len(chunks)-1]
+		}
+		mg.Wait()
+		chunks = merged
+	}
+	return chunks[0], nil
+}
+
+// sortExchanges sorts into cmpExchange order. Large inputs use a stable LSD
+// radix sort on the theta float bits (all thetas are positive, so their IEEE
+// bit patterns order like the values): stability preserves the row-major
+// enumeration order of buildRows within equal thetas, which is exactly the
+// (I, J) tie-break — and the radix passes beat the comparison sort's
+// Θ(E log E) comparator calls on the sweep's hottest input sizes.
+func sortExchanges(ex []Exchange) {
+	if len(ex) < 1<<14 {
+		slices.SortFunc(ex, cmpExchange)
+		return
+	}
+	src, dst := ex, make([]Exchange, len(ex))
+	var counts [1 << 16]int32
+	for shift := 0; shift < 64; shift += 16 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for k := range src {
+			counts[(math.Float64bits(src[k].Theta)>>shift)&0xffff]++
+		}
+		var sum int32
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for k := range src {
+			b := (math.Float64bits(src[k].Theta) >> shift) & 0xffff
+			dst[counts[b]] = src[k]
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	// 64/16 = 4 passes: the sorted data landed back in ex.
+}
+
+// mergeExchanges merges two cmpExchange-sorted slices.
+func mergeExchanges(a, b []Exchange) []Exchange {
+	out := make([]Exchange, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cmpExchange(a[i], b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Theta < out[b].Theta })
-	return out, nil
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Interval is a satisfactory angular range [Start, End] ⊆ [0, π/2]: every
@@ -96,14 +249,81 @@ type Options struct {
 	// oracles that inspect only the top-PruneTopK prefix and unsound for
 	// oracles that look deeper.
 	PruneTopK int
+	// Workers splits [0, π/2] into that many contiguous sector segments
+	// swept concurrently, each seeded with one full sort at its segment
+	// start; satisfactory intervals are merged exactly at segment
+	// boundaries, so the result is identical to the serial sweep for any
+	// worker count. The only caveat is eps-degenerate data: a pair whose
+	// exchange was filtered at the geom.Eps tolerance (near-duplicate
+	// items, near-zero exchange angle) keeps its serial order everywhere,
+	// while a segment seed re-sorts it by exact score — observable only
+	// when scores differ by less than Eps and the pair straddles the
+	// oracle's top-k boundary. 0 or 1 = serial; negative = GOMAXPROCS.
+	Workers int
+	// FullCheck forces a full Oracle.Check per sector instead of driving
+	// the oracle's incremental state (fairness.Incremental) — the
+	// pre-incremental behaviour, kept for benchmarks and equivalence tests.
+	FullCheck bool
+}
+
+// resolveWorkers maps the Workers option to an effective worker count,
+// clamped to the number of sectors so every segment is non-empty.
+func resolveWorkers(workers, sectors int) int {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > sectors {
+		workers = sectors
+	}
+	return workers
+}
+
+// eventGroup is one distinct exchange angle: the half-open exchange index
+// range [lo, hi) shares (numerically) the angle theta. Groups with hi−lo > 1
+// are concurrent exchanges — three or more items meeting at one angle make
+// the pairwise swap order ambiguous, so the sector past them is re-sorted
+// from scratch.
+type eventGroup struct {
+	theta  float64
+	lo, hi int
+}
+
+// tieTol groups exchanges at numerically identical angles; they must be
+// applied together before the next sector is examined.
+const tieTol = 1e-12
+
+// groupEvents buckets the sorted exchanges into distinct-angle groups.
+func groupEvents(exchanges []Exchange) []eventGroup {
+	var events []eventGroup
+	i := 0
+	for i < len(exchanges) {
+		theta := exchanges[i].Theta
+		j := i
+		for j < len(exchanges) && exchanges[j].Theta-theta <= tieTol {
+			j++
+		}
+		events = append(events, eventGroup{theta: theta, lo: i, hi: j})
+		i = j
+	}
+	return events
 }
 
 // RaySweep is Algorithm 1 (2DRAYSWEEP): it sweeps a ray from the x-axis
 // (θ = 0) to the y-axis (θ = π/2), maintaining the induced ordering across
 // ordering exchanges, evaluating the oracle once per sector, and merging
 // consecutive satisfactory sectors into intervals.
+//
+// Each sector is one logical oracle call, but the call is O(1) amortized
+// when the oracle supports fairness.Incremental (TopK and its combinators):
+// consecutive sectors differ by a single swap, so the verdict state is
+// updated instead of recomputed. Options.Workers additionally sweeps
+// disjoint sector segments concurrently; the output is identical for every
+// worker count up to the eps-degeneracy caveat on Options.Workers.
 func RaySweep(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*Index, error) {
-	exchanges, err := ExchangeAngles(ds)
+	exchanges, err := exchangeAngles(ds, resolveWorkers(opt.Workers, ds.N()))
 	if err != nil {
 		return nil, err
 	}
@@ -121,96 +341,235 @@ func RaySweep(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*Index,
 		exchanges = kept
 	}
 	counter := &fairness.Counter{O: oracle}
+	events := groupEvents(exchanges)
+	sectors := len(events) + 1
+	idx := &Index{ExchangeCount: len(exchanges), Sectors: sectors}
 
-	// Initial ordering at θ → 0+: x descending, ties by y descending (the
-	// limit ordering just off the axis), then index for determinism.
-	n := ds.N()
-	init := make([]int, n)
-	for i := range init {
-		init[i] = i
-	}
-	sort.SliceStable(init, func(a, b int) bool {
-		ia, ib := ds.Item(init[a]), ds.Item(init[b])
-		if ia[0] != ib[0] {
-			return ia[0] > ib[0]
-		}
-		return ia[1] > ib[1]
-	})
-	mo := ranking.NewMutableOrder(init)
-
-	// Group exchanges at (numerically) identical angles: they must be
-	// applied together before the next sector is examined, and when three
-	// or more items meet at one angle the pairwise swap order is ambiguous,
-	// so such sectors are re-sorted from scratch.
-	const tieTol = 1e-12
-	idx := &Index{ExchangeCount: len(exchanges)}
-	var intervals []Interval
-	var curStart float64
-	inSat := false
-
-	sectorStart := 0.0
-	evaluate := func(start, end float64) error {
-		idx.Sectors++
-		order := mo.Order()
-		if opt.Validate {
-			mid := (start + end) / 2
-			w := geom.Vector{math.Cos(mid), math.Sin(mid)}
-			order, err = ranking.Order(ds, w)
-			if err != nil {
-				return err
-			}
-		}
-		if counter.Check(order) {
-			if !inSat {
-				inSat = true
-				curStart = start
-			}
-		} else if inSat {
-			inSat = false
-			intervals = append(intervals, Interval{Start: curStart, End: start})
-		}
-		return nil
-	}
-
-	i := 0
-	for i < len(exchanges) {
-		theta := exchanges[i].Theta
-		if err := evaluate(sectorStart, theta); err != nil {
+	workers := resolveWorkers(opt.Workers, sectors)
+	if workers == 1 {
+		intervals, err := sweepSegment(ds, counter, exchanges, events, 0, sectors, opt)
+		if err != nil {
 			return nil, err
 		}
-		// Apply every exchange at this angle.
-		j := i
-		for j < len(exchanges) && exchanges[j].Theta-theta <= tieTol {
-			mo.Swap(exchanges[j].I, exchanges[j].J)
-			j++
+		idx.intervals = intervals
+		idx.OracleCalls = counter.Calls()
+		return idx, nil
+	}
+
+	// Parallel segmented sweep: contiguous sector ranges, one full sort to
+	// seed each, exact interval merge at the segment boundaries.
+	parts := make([][]Interval, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		secLo := w * sectors / workers
+		secHi := (w + 1) * sectors / workers
+		wg.Add(1)
+		go func(w, secLo, secHi int) {
+			defer wg.Done()
+			parts[w], errs[w] = sweepSegment(ds, counter, exchanges, events, secLo, secHi, opt)
+		}(w, secLo, secHi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		if j-i > 1 {
-			// Concurrent exchanges: rebuild the order exactly just past the
-			// boundary so later sectors stay correct.
-			next := math.Pi / 2
-			if j < len(exchanges) {
-				next = exchanges[j].Theta
+	}
+	var intervals []Interval
+	for _, part := range parts {
+		for _, iv := range part {
+			// A satisfactory run crossing a segment boundary arrives as two
+			// intervals sharing the boundary angle exactly (both take it
+			// from the same eventGroup); merge them.
+			if k := len(intervals) - 1; k >= 0 && intervals[k].End == iv.Start {
+				intervals[k].End = iv.End
+				continue
 			}
-			mid := (theta + next) / 2
-			w := geom.Vector{math.Cos(mid), math.Sin(mid)}
-			order, err := ranking.Order(ds, w)
+			intervals = append(intervals, iv)
+		}
+	}
+	idx.intervals = intervals
+	idx.OracleCalls = counter.Calls()
+	return idx, nil
+}
+
+// sweepSegment sweeps the contiguous sector range [secLo, secHi). Sector s
+// spans (events[s−1].theta, events[s].theta), with θ = 0 before the first
+// event and θ = π/2 after the last. The first sector's ordering is seeded by
+// a full sort (or, for sector 0, the exact limit ordering at θ → 0+); every
+// following sector is reached by applying its event's swaps to the mutable
+// order and to the oracle's incremental state.
+func sweepSegment(ds *dataset.Dataset, counter *fairness.Counter, exchanges []Exchange, events []eventGroup, secLo, secHi int, opt Options) ([]Interval, error) {
+	startAngle := func(s int) float64 {
+		if s == 0 {
+			return 0
+		}
+		return events[s-1].theta
+	}
+	endAngle := func(s int) float64 {
+		if s == len(events) {
+			return math.Pi / 2
+		}
+		return events[s].theta
+	}
+
+	var bufs ranking.Buffers
+	var mo *ranking.MutableOrder
+	if !opt.Validate {
+		if secLo == 0 {
+			// Initial ordering at θ → 0+: x descending, ties by y
+			// descending (the limit ordering just off the axis), then index
+			// for determinism.
+			init := make([]int, ds.N())
+			for i := range init {
+				init[i] = i
+			}
+			slices.SortFunc(init, func(a, b int) int {
+				ia, ib := ds.Item(a), ds.Item(b)
+				switch {
+				case ia[0] > ib[0]:
+					return -1
+				case ia[0] < ib[0]:
+					return 1
+				case ia[1] > ib[1]:
+					return -1
+				case ia[1] < ib[1]:
+					return 1
+				default:
+					return a - b
+				}
+			})
+			mo = ranking.NewMutableOrder(init)
+		} else {
+			mid := (startAngle(secLo) + endAngle(secLo)) / 2
+			order, err := bufs.Order(ds, geom.Vector{math.Cos(mid), math.Sin(mid)})
 			if err != nil {
 				return nil, err
 			}
 			mo = ranking.NewMutableOrder(order)
 		}
-		sectorStart = theta
-		i = j
 	}
-	if err := evaluate(sectorStart, math.Pi/2); err != nil {
-		return nil, err
+
+	var inc fairness.Incremental
+	if !opt.Validate && !opt.FullCheck {
+		inc = fairness.NewIncremental(counter)
+		inc.Begin(mo.Order())
+	}
+
+	var meet meetScratch
+	var intervals []Interval
+	var curStart float64
+	inSat := false
+	for s := secLo; s < secHi; s++ {
+		var sat bool
+		switch {
+		case opt.Validate:
+			mid := (startAngle(s) + endAngle(s)) / 2
+			order, err := bufs.Order(ds, geom.Vector{math.Cos(mid), math.Sin(mid)})
+			if err != nil {
+				return nil, err
+			}
+			sat = counter.Check(order)
+		case opt.FullCheck:
+			sat = counter.Check(mo.Order())
+		default:
+			sat = inc.Valid()
+		}
+		if sat {
+			if !inSat {
+				inSat = true
+				curStart = startAngle(s)
+			}
+		} else if inSat {
+			inSat = false
+			intervals = append(intervals, Interval{Start: curStart, End: startAngle(s)})
+		}
+		if s+1 >= secHi || s >= len(events) || opt.Validate {
+			continue // last sector of the segment (or re-sorting anyway)
+		}
+		ev := events[s]
+		if ev.hi-ev.lo == 1 {
+			posA, posB := mo.Swap(exchanges[ev.lo].I, exchanges[ev.lo].J)
+			if inc != nil {
+				inc.Swap(posA, posB)
+			}
+			continue
+		}
+		// Concurrent exchanges: resolve the meet exactly — only the items
+		// meeting at this angle move, re-sorting among the ranks they
+		// already occupy by their score just past the boundary.
+		mid := (startAngle(s+1) + endAngle(s+1)) / 2
+		meet.apply(ds, mo, inc, exchanges[ev.lo:ev.hi], mid)
 	}
 	if inSat {
-		intervals = append(intervals, Interval{Start: curStart, End: math.Pi / 2})
+		intervals = append(intervals, Interval{Start: curStart, End: endAngle(secHi - 1)})
 	}
-	idx.intervals = intervals
-	idx.OracleCalls = counter.Calls
-	return idx, nil
+	return intervals, nil
+}
+
+// meetScratch holds reusable buffers for resolving concurrent-exchange
+// groups (three or more items meeting at one angle).
+type meetScratch struct {
+	seen    []bool
+	members []meetMember
+	ranks   []int
+}
+
+type meetMember struct {
+	item  int
+	score float64
+}
+
+// apply resolves one concurrent-exchange group: every item involved in the
+// group ties with its exchange partners exactly at the boundary angle, so
+// just past it the members re-sort among the ranks they already occupy,
+// ordered by score at mid (ties — identical items — keep ascending-index
+// order, matching ranking.Order). Items not in the group cannot cross any
+// member inside the group's angle window (such a crossing would itself be an
+// exchange in the group), so their ranks are untouched. O(c log c) for a
+// c-item meet instead of an O(n log n) re-sort of the whole dataset.
+func (sc *meetScratch) apply(ds *dataset.Dataset, mo *ranking.MutableOrder, inc fairness.Incremental, group []Exchange, mid float64) {
+	if sc.seen == nil {
+		sc.seen = make([]bool, ds.N())
+	}
+	w := geom.Vector{math.Cos(mid), math.Sin(mid)}
+	sc.members = sc.members[:0]
+	for _, e := range group {
+		if !sc.seen[e.I] {
+			sc.seen[e.I] = true
+			sc.members = append(sc.members, meetMember{item: e.I, score: w.Dot(ds.Item(e.I))})
+		}
+		if !sc.seen[e.J] {
+			sc.seen[e.J] = true
+			sc.members = append(sc.members, meetMember{item: e.J, score: w.Dot(ds.Item(e.J))})
+		}
+	}
+	sc.ranks = sc.ranks[:0]
+	for _, m := range sc.members {
+		sc.seen[m.item] = false
+		sc.ranks = append(sc.ranks, mo.Rank(m.item))
+	}
+	slices.Sort(sc.ranks)
+	slices.SortFunc(sc.members, func(a, b meetMember) int {
+		switch {
+		case a.score > b.score:
+			return -1
+		case a.score < b.score:
+			return 1
+		default:
+			return a.item - b.item
+		}
+	})
+	order := mo.Order()
+	for i, m := range sc.members {
+		if cur := order[sc.ranks[i]]; cur != m.item {
+			posA, posB := mo.Swap(m.item, cur)
+			if inc != nil {
+				inc.Swap(posA, posB)
+			}
+		}
+	}
 }
 
 // Intervals returns the satisfactory intervals in ascending order (shared
