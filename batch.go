@@ -1,0 +1,102 @@
+package fairrank
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"fairrank/internal/geom"
+)
+
+// BatchResult is one slot of a SuggestBatch answer: exactly one of
+// Suggestion and Err is set.
+type BatchResult struct {
+	Suggestion *Suggestion
+	Err        error
+}
+
+// SuggestBatch answers many design queries in one call. Results line up
+// with the queries; each slot holds the same answer (and the same error,
+// e.g. ErrUnsatisfiable) that Suggest would return for that query alone.
+//
+// The batch path amortizes per-call overhead two ways: queries fan out
+// across GOMAXPROCS workers in contiguous chunks, and the Mode2D engine —
+// whose per-query work is a few dozen nanoseconds of binary search —
+// additionally runs an allocation-free kernel that writes all suggestions
+// of a chunk into two arena allocations instead of three per query.
+// Suggest is safe for concurrent use on all engines, which is what makes
+// the fan-out sound.
+func (d *Designer) SuggestBatch(queries [][]float64) []BatchResult {
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		d.suggestRange(queries, results, 0, len(queries))
+		return results
+	}
+	// Contiguous chunks, one per worker: per-query costs within a batch are
+	// near-uniform, and chunking avoids contending on a shared counter when
+	// individual queries are only nanoseconds of work (the 2D hot path).
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(queries) / workers
+		hi := (w + 1) * len(queries) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			d.suggestRange(queries, results, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+// suggestRange answers queries[lo:hi] into results[lo:hi].
+func (d *Designer) suggestRange(queries [][]float64, results []BatchResult, lo, hi int) {
+	if d.mode == Mode2D {
+		d.suggestRange2D(queries, results, lo, hi)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		results[i].Suggestion, results[i].Err = d.Suggest(queries[i])
+	}
+}
+
+// suggestRange2D is the Mode2D batch kernel: per query it does the polar
+// conversion and interval search with no allocations, and the Suggestion
+// structs and answer vectors for the whole range come from two arena
+// allocations. Answers are bit-identical to Suggest's (ToPolar2D and
+// QueryAngle are the same arithmetic as the scalar path).
+func (d *Designer) suggestRange2D(queries [][]float64, results []BatchResult, lo, hi int) {
+	arena := make([]Suggestion, hi-lo)
+	weights := make([]float64, 2*(hi-lo))
+	for i := lo; i < hi; i++ {
+		q := queries[i]
+		s := &arena[i-lo]
+		out := weights[2*(i-lo) : 2*(i-lo)+2 : 2*(i-lo)+2]
+		r, theta, err := geom.ToPolar2D(geom.Vector(q))
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		bestTheta, dist, err := d.idx2d.QueryAngle(theta)
+		if err != nil {
+			results[i].Err = ErrUnsatisfiable
+			continue
+		}
+		if dist == 0 {
+			out[0], out[1] = q[0], q[1]
+			s.AlreadyFair = true
+		} else {
+			out[0], out[1] = r*math.Cos(bestTheta), r*math.Sin(bestTheta)
+		}
+		s.Weights = out
+		s.Distance = dist
+		results[i].Suggestion = s
+	}
+}

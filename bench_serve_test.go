@@ -1,0 +1,69 @@
+// Serving-path benchmarks: per-call Suggest vs the amortized SuggestBatch
+// fan-out. CI runs these with -bench BenchmarkServe and converts the output
+// to BENCH_serve.json (cmd/benchjson), so the serve latency trajectory is
+// tracked across PRs. Both benchmarks report ns/query, making the amortized
+// batch number directly comparable to the per-call one.
+package fairrank_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairrank"
+	"fairrank/internal/datagen"
+)
+
+// serveFixture builds a Mode2D designer over biased data plus a query
+// workload mixing fair and unfair functions — the serving hot path.
+func serveFixture(b *testing.B) (*fairrank.Designer, [][]float64) {
+	b.Helper()
+	ds, err := datagen.Biased(400, 2, 0.5, 0.3, 1, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle, err := fairrank.MinShare(ds, "group", "protected", 0.2, 0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{Mode: fairrank.Mode2D, Workers: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !d.Satisfiable() {
+		b.Skip("unsatisfiable instance")
+	}
+	r := rand.New(rand.NewSource(23))
+	queries := make([][]float64, 512)
+	for i := range queries {
+		theta := r.Float64() * math.Pi / 2
+		queries[i] = []float64{math.Cos(theta), math.Sin(theta)}
+	}
+	return d, queries
+}
+
+func BenchmarkServeSuggest(b *testing.B) {
+	d, queries := serveFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Suggest(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/query")
+}
+
+func BenchmarkServeSuggestBatch(b *testing.B) {
+	d, queries := serveFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range d.SuggestBatch(queries) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/query")
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkServeSuggest-8   \t11325680\t       107.1 ns/op\t       107.1 ns/query")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkServeSuggest" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should strip)", r.Name)
+	}
+	if r.Iterations != 11325680 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	if r.Metrics["ns/op"] != 107.1 || r.Metrics["ns/query"] != 107.1 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \tfairrank\t2.9s",
+		"goos: linux",
+		"BenchmarkBroken notanumber ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q should not parse", line)
+		}
+	}
+	// A no-suffix serial run parses too.
+	if r, ok := parseLine("BenchmarkServeSuggestBatch \t35266\t34829 ns/op\t68.03 ns/query"); !ok || r.Name != "BenchmarkServeSuggestBatch" {
+		t.Errorf("serial line: ok=%v r=%+v", ok, r)
+	}
+}

@@ -1,0 +1,78 @@
+// Command fairrankd serves fair-ranking design queries over HTTP: the
+// paper's offline/online split as a long-running system. Datasets and
+// designers are created through a JSON API, indexes build in the background
+// and swap in atomically, and on shutdown every finished index is persisted
+// to the data directory so the next start serves without re-running the
+// offline phase.
+//
+// Usage:
+//
+//	fairrankd [-addr :8080] [-data ./fairrankd-data]
+//
+// See the "Running fairrankd" section of the README for the API by example.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fairrank"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "fairrankd-data", "directory for persisted datasets and indexes (empty = no persistence)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	srv := fairrank.NewServer()
+	if *dataDir != "" {
+		if err := srv.LoadDir(*dataDir); err != nil {
+			log.Fatalf("loading data directory %s: %v", *dataDir, err)
+		}
+		if ids := srv.DesignerIDs(); len(ids) > 0 {
+			log.Printf("restored %d designer(s) from %s: %v", len(ids), *dataDir, ids)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fairrankd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (waiting up to %v for in-flight requests)", *shutdownTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	if *dataDir != "" {
+		if err := srv.SaveDir(*dataDir); err != nil {
+			log.Printf("saving data directory %s: %v", *dataDir, err)
+		} else {
+			log.Printf("saved state to %s", *dataDir)
+		}
+	}
+}

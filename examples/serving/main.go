@@ -1,0 +1,170 @@
+// The serving example: the paper's offline/online split as a system. It
+// builds a 2D index over biased admissions data, saves it with the universal
+// index codec, restores it into a fairrank.Server (no rebuild), and queries
+// the server over real HTTP — single, batch, revalidate, and metrics.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"fairrank"
+	"fairrank/internal/datagen"
+)
+
+func main() {
+	// ---- Offline: build the index once and persist it. --------------------
+	ds, err := datagen.Biased(400, 2, 0.5, 0.3, 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := fairrank.MinShare(ds, "group", "protected", 0.2, 0.45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	designer, err := fairrank.NewDesigner(ds, oracle, fairrank.Config{Workers: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "fairrank-serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	idxPath := filepath.Join(dir, "admissions.index")
+	f, err := os.Create(idxPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := designer.SaveIndex(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(idxPath)
+	fmt.Printf("offline: built and saved a %s index (%d bytes)\n", designer.Mode(), info.Size())
+
+	// ---- Online: a server restores the index and answers over HTTP. -------
+	// fairrankd does exactly this against its -data directory; here the
+	// server is embedded and driven through httptest to stay self-contained.
+	srv := fairrank.NewServer()
+	if err := srv.AddDataset("admissions", ds); err != nil {
+		log.Fatal(err)
+	}
+	spec := fairrank.DesignerSpec{
+		Dataset: "admissions",
+		Oracle:  fairrank.OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.2, Share: 0.45},
+	}
+	// Persist server-shaped state (manifests + index) and load it back —
+	// the loaded designer serves immediately, without re-sweeping.
+	if err := writeManifests(dir, spec); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.LoadDir(dir); err != nil {
+		log.Fatal(err)
+	}
+	st, err := srv.DesignerStatus("admissions")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online: designer restored from disk, status %q, mode %s\n", st.Status, st.Mode)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A product team proposes 60/40 GPA/SAT weights.
+	var s struct {
+		Weights     []float64 `json:"weights"`
+		Distance    float64   `json:"distance"`
+		AlreadyFair bool      `json:"already_fair"`
+	}
+	postJSON(ts.URL+"/v1/designers/admissions/suggest", map[string]any{"weights": []float64{0.6, 0.4}}, &s)
+	if s.AlreadyFair {
+		fmt.Printf("suggest: (0.60, 0.40) is already fair\n")
+	} else {
+		fmt.Printf("suggest: (0.60, 0.40) is unfair; closest fair weights (%.4f, %.4f), %.4f rad away\n",
+			s.Weights[0], s.Weights[1], s.Distance)
+	}
+
+	// A batch of candidate functions in one round trip.
+	var batch struct {
+		Results []struct {
+			Weights  []float64 `json:"weights"`
+			Distance float64   `json:"distance"`
+		} `json:"results"`
+	}
+	postJSON(ts.URL+"/v1/designers/admissions/suggest", map[string]any{
+		"batch": [][]float64{{1, 0}, {0.5, 0.5}, {0, 1}},
+	}, &batch)
+	for i, res := range batch.Results {
+		fmt.Printf("batch[%d]: fair weights (%.4f, %.4f), distance %.4f\n", i, res.Weights[0], res.Weights[1], res.Distance)
+	}
+
+	// The drift loop: spot-check the serving index against the live data.
+	var reval struct {
+		Healthy bool   `json:"healthy"`
+		Detail  string `json:"detail"`
+	}
+	postJSON(ts.URL+"/v1/designers/admissions/revalidate", map[string]any{}, &reval)
+	fmt.Printf("revalidate: healthy=%v (%s)\n", reval.Healthy, reval.Detail)
+
+	// Serving metrics for the traffic above.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Designers map[string]struct {
+			Metrics struct {
+				Queries      int64 `json:"queries"`
+				BatchQueries int64 `json:"batch_queries"`
+			} `json:"metrics"`
+		} `json:"designers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		log.Fatal(err)
+	}
+	m := metrics.Designers["admissions"].Metrics
+	fmt.Printf("metrics: served %d single and %d batch queries\n", m.Queries, m.BatchQueries)
+}
+
+// writeManifests lays out the data directory the way Server.SaveDir does,
+// next to the index file the offline phase already wrote.
+func writeManifests(dir string, spec fairrank.DesignerSpec) error {
+	ds, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "admissions.designer.json"), ds, 0o644); err != nil {
+		return err
+	}
+	return nil
+}
+
+func postJSON(url string, body, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

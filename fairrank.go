@@ -103,6 +103,13 @@ func Proportional(ds *Dataset, attr string, topFrac, slack float64) (Oracle, err
 	return fairness.Proportional(ds, attr, topFrac, slack)
 }
 
+// PrefixOracle builds a FA*IR-style prefix-fairness oracle: for every prefix
+// of length i = 1..k, the protected group must hold at least ⌊p·i⌋ − slack
+// positions.
+func PrefixOracle(ds *Dataset, attr, group string, k int, p float64, slack int) (Oracle, error) {
+	return fairness.NewPrefix(ds, attr, group, k, p, slack)
+}
+
 // AllOf is the FM2 combinator: every sub-oracle must accept. Use one TopK
 // oracle per type attribute for multi-attribute constraints.
 func AllOf(oracles ...Oracle) Oracle { return fairness.All(oracles) }
@@ -164,8 +171,9 @@ type Config struct {
 	// remain oracle-verified; only the Theorem 6 distance bound softens.
 	CellRegionCap int
 	// Workers parallelizes offline preprocessing: the MARKCELL phase of
-	// ModeApprox and the segmented ray sweep of Mode2D (0 = serial,
-	// negative = GOMAXPROCS). Results are identical for any worker count.
+	// ModeApprox, the segmented ray sweep of Mode2D, and the region-labeling
+	// pass of ModeExact (0 = serial, negative = GOMAXPROCS). Results are
+	// identical for any worker count.
 	Workers int
 	// RefineQueries makes ModeApprox Suggest calls also consider the
 	// functions of axis-adjacent cells (never worse, O(d log N) extra).
@@ -175,6 +183,12 @@ type Config struct {
 // ErrUnsatisfiable is returned by Suggest when no linear ranking function
 // satisfies the oracle anywhere in the weight space.
 var ErrUnsatisfiable = errors.New("fairrank: no satisfactory ranking function exists")
+
+// ErrUnsupportedMode is returned by Designer methods that are only
+// implemented for some engine modes (currently Revalidate, which needs the
+// interval structure of Mode2D). The wrapping error message names the
+// designer's mode.
+var ErrUnsupportedMode = errors.New("fairrank: operation not supported by this engine mode")
 
 // Suggestion is the answer to a design query.
 type Suggestion struct {
@@ -237,6 +251,7 @@ func NewDesigner(ds *Dataset, oracle Oracle, cfg Config) (*Designer, error) {
 			MaxHyperplanes: cfg.MaxHyperplanes,
 			Seed:           cfg.Seed,
 			PruneTopK:      cfg.PruneTopK,
+			Workers:        cfg.Workers,
 			// Adjacency-ordered incremental labeling is exact in 2D, where
 			// angle-space hyperplanes coincide with the exchange angles.
 			IncrementalLabeling: ds.D() == 2,
@@ -355,33 +370,12 @@ type DriftReport = twod.DriftReport
 // Revalidate spot-checks a Mode2D designer's satisfactory intervals against
 // a possibly-updated dataset (the §1 design loop: reuse the scheme while
 // the data distribution holds, verify periodically, rebuild on drift).
-// It returns an error for the other engines.
+// It returns ErrUnsupportedMode for the other engines.
 func (d *Designer) Revalidate(ds *Dataset) (DriftReport, error) {
 	if d.mode != Mode2D {
-		return DriftReport{}, fmt.Errorf("fairrank: Revalidate supports Mode2D, designer uses %v", d.mode)
+		return DriftReport{}, fmt.Errorf("%w: Revalidate requires Mode2D, designer uses %v", ErrUnsupportedMode, d.mode)
 	}
 	return d.idx2d.Revalidate(ds, d.oracle)
-}
-
-// SaveIndex serializes a ModeApprox designer's preprocessed index so the
-// offline phase can be reused across processes (see LoadDesigner). It
-// returns an error for the other engines, whose indexes are cheap enough to
-// rebuild.
-func (d *Designer) SaveIndex(w io.Writer) error {
-	if d.mode != ModeApprox {
-		return fmt.Errorf("fairrank: SaveIndex supports ModeApprox, designer uses %v", d.mode)
-	}
-	return d.approx.WriteIndex(w)
-}
-
-// LoadDesigner reconstructs a ModeApprox designer from a SaveIndex stream.
-// ds and oracle must be the ones the index was built for.
-func LoadDesigner(r io.Reader, ds *Dataset, oracle Oracle) (*Designer, error) {
-	idx, err := cells.LoadIndex(r, ds, oracle)
-	if err != nil {
-		return nil, err
-	}
-	return &Designer{ds: ds, oracle: oracle, mode: ModeApprox, approx: idx}, nil
 }
 
 // AngularDistance returns the angular distance (radians) between two weight

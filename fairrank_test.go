@@ -270,14 +270,18 @@ func TestSaveLoadIndex(t *testing.T) {
 	if err1 == nil && math.Abs(s1.Distance-s2.Distance) > 1e-12 {
 		t.Fatalf("suggestion changed by save/load: %v vs %v", s1.Distance, s2.Distance)
 	}
-	// 2D designers refuse to save.
+	// 2D designers save and load too (universal index persistence).
 	ds2d, _ := datagen.Biased(50, 2, 0.5, 0.2, 1, 1)
 	d2, err := NewDesigner(ds2d, OracleFunc(func([]int) bool { return true }), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d2.SaveIndex(&buf); err == nil {
-		t.Error("expected error saving a 2D designer")
+	buf.Reset()
+	if err := d2.SaveIndex(&buf); err != nil {
+		t.Fatalf("saving a 2D designer: %v", err)
+	}
+	if _, err := LoadDesigner(&buf, ds2d, OracleFunc(func([]int) bool { return true })); err != nil {
+		t.Fatalf("loading a 2D designer: %v", err)
 	}
 }
 

@@ -1,0 +1,223 @@
+package fairrank
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fairrank/internal/service"
+)
+
+// The fairrankd HTTP JSON API, mounted on Server.Handler():
+//
+//	POST /v1/datasets                     {"id": ..., "dataset": DatasetSpec}
+//	GET  /v1/datasets                     → {"datasets": [ids]}
+//	POST /v1/designers                    {"id": ..., "spec": DesignerSpec}
+//	GET  /v1/designers                    → {"designers": [ids]}
+//	GET  /v1/designers/{id}/status        → service.StatusInfo
+//	POST /v1/designers/{id}/suggest       {"weights": [...]} or {"batch": [[...], ...]}
+//	POST /v1/designers/{id}/revalidate    {"dataset": optional id}
+//	GET  /metrics                         → per-designer counters + latency histograms
+//	GET  /healthz                         → {"status": "ok"}
+
+// suggestRequest is the body of POST /v1/designers/{id}/suggest: exactly one
+// of Weights (single query) and Batch (many queries) must be set.
+type suggestRequest struct {
+	Weights []float64   `json:"weights,omitempty"`
+	Batch   [][]float64 `json:"batch,omitempty"`
+}
+
+// suggestionJSON is one answered query.
+type suggestionJSON struct {
+	Weights     []float64 `json:"weights,omitempty"`
+	Distance    float64   `json:"distance"`
+	AlreadyFair bool      `json:"already_fair"`
+	Error       string    `json:"error,omitempty"`
+}
+
+func toSuggestionJSON(s *Suggestion, err error) suggestionJSON {
+	if err != nil {
+		return suggestionJSON{Error: err.Error()}
+	}
+	return suggestionJSON{Weights: s.Weights, Distance: s.Distance, AlreadyFair: s.AlreadyFair}
+}
+
+// Handler returns the HTTP API. It is safe to mount alongside other routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/designers", s.handleCreateDesigner)
+	s.mux.HandleFunc("GET /v1/designers", s.handleListDesigners)
+	s.mux.HandleFunc("GET /v1/designers/{id}/status", s.handleDesignerStatus)
+	s.mux.HandleFunc("POST /v1/designers/{id}/suggest", s.handleSuggest)
+	s.mux.HandleFunc("POST /v1/designers/{id}/revalidate", s.handleRevalidate)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errorStatus maps serving errors onto HTTP status codes.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, service.ErrNotReady):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnsatisfiable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrUnsupportedMode):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID      string      `json:"id"`
+		Dataset DatasetSpec `json:"dataset"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ds, err := req.Dataset.Build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.AddDataset(req.ID, ds); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": req.ID, "n": ds.N(), "d": ds.D()})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.DatasetIDs()})
+}
+
+func (s *Server) handleCreateDesigner(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID   string       `json:"id"`
+		Spec DesignerSpec `json:"spec"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.CreateDesigner(req.ID, req.Spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// ?wait=true blocks until the offline build finishes — convenient for
+	// small datasets and scripted demos; production callers poll status.
+	if r.URL.Query().Get("wait") == "true" {
+		if err := s.WaitReady(r.Context(), req.ID); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	st, err := s.DesignerStatus(req.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleListDesigners(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"designers": s.DesignerIDs()})
+}
+
+func (s *Server) handleDesignerStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.DesignerStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req suggestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Weights != nil && req.Batch != nil:
+		writeError(w, http.StatusBadRequest, errors.New(`"weights" and "batch" are mutually exclusive`))
+	case req.Weights != nil:
+		sug, err := s.Suggest(id, req.Weights)
+		if err != nil {
+			writeError(w, errorStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toSuggestionJSON(sug, nil))
+	case req.Batch != nil:
+		results, err := s.SuggestBatch(id, req.Batch)
+		if err != nil {
+			writeError(w, errorStatus(err), err)
+			return
+		}
+		out := make([]suggestionJSON, len(results))
+		for i, res := range results {
+			out[i] = toSuggestionJSON(res.Suggestion, res.Err)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	default:
+		writeError(w, http.StatusBadRequest, errors.New(`body needs "weights" or "batch"`))
+	}
+}
+
+func (s *Server) handleRevalidate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dataset string `json:"dataset"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Revalidate(r.PathValue("id"), req.Dataset)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleMetrics exposes per-designer query counters and latency histograms
+// in an expvar-style JSON document (stdlib only, scrape-friendly).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	designers := make(map[string]service.StatusInfo)
+	for _, id := range s.DesignerIDs() {
+		if st, err := s.DesignerStatus(id); err == nil {
+			designers[id] = st
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"datasets":       len(s.DatasetIDs()),
+		"designers":      designers,
+	})
+}

@@ -82,6 +82,19 @@ func New(box geom.Box, useTree bool, rng *rand.Rand) *Arrangement {
 	return a
 }
 
+// Reconstruct rebuilds an arrangement from persisted state: the box, the
+// hyperplane list, and the regions with their sides and witnesses. The result
+// is query-only — Locate tests region sides directly (no tree) and Insert
+// must not be called on it, which is all the loaded read path of an MDIndex
+// needs.
+func Reconstruct(box geom.Box, hps []geom.Hyperplane, regions []*Region) *Arrangement {
+	return &Arrangement{
+		Box:         box,
+		Hyperplanes: hps,
+		regions:     regions,
+	}
+}
+
 // Regions returns the current regions (shared slice; treat as read-only).
 func (a *Arrangement) Regions() []*Region { return a.regions }
 

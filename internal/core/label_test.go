@@ -120,3 +120,50 @@ func TestIncrementalLabeling3DSmoke(t *testing.T) {
 		}
 	}
 }
+
+// Parallel labeling must produce identical labels at every worker count, for
+// both the incremental (component-parallel) and witness (region-parallel)
+// paths.
+func TestParallelLabelingIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 4; iter++ {
+		ds := colored2D(t, r, 10+r.Intn(8))
+		oracle, err := fairness.NewTopK(ds, "color", 4, []fairness.GroupBound{{Group: "blue", Min: 1, Max: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, incremental := range []bool{false, true} {
+			serial, err := SatRegions(ds, oracle, Options{UseTree: true, Seed: int64(iter), IncrementalLabeling: incremental})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, -1} {
+				par, err := SatRegions(ds, oracle, Options{
+					UseTree: true, Seed: int64(iter), IncrementalLabeling: incremental, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sr, pr := serial.Arr.Regions(), par.Arr.Regions()
+				if len(sr) != len(pr) {
+					t.Fatalf("iter %d inc=%v workers=%d: region counts differ (%d vs %d)",
+						iter, incremental, workers, len(sr), len(pr))
+				}
+				for k := range sr {
+					if sr[k].Satisfactory != pr[k].Satisfactory {
+						t.Fatalf("iter %d inc=%v workers=%d: region %d label differs",
+							iter, incremental, workers, k)
+					}
+				}
+				if serial.OracleCalls != par.OracleCalls {
+					t.Errorf("iter %d inc=%v workers=%d: oracle calls %d vs serial %d",
+						iter, incremental, workers, par.OracleCalls, serial.OracleCalls)
+				}
+				if len(serial.Sat) != len(par.Sat) {
+					t.Errorf("iter %d inc=%v workers=%d: |Sat| %d vs serial %d",
+						iter, incremental, workers, len(par.Sat), len(serial.Sat))
+				}
+			}
+		}
+	}
+}

@@ -38,6 +38,11 @@ type Options struct {
 	// any top-k (dominated by ≥ k others) — the §8 convex-layers
 	// optimization. Use the oracle's k.
 	PruneTopK int
+	// Workers parallelizes the region-labeling pass across the connected
+	// components of the region adjacency graph (IncrementalLabeling) or
+	// across regions (witness labeling). Labels are identical for any worker
+	// count. 0 or 1 = serial; negative = GOMAXPROCS.
+	Workers int
 	// IncrementalLabeling visits regions in adjacency order (a DFS over the
 	// regions' sign vectors, where neighbors differ in exactly one
 	// hyperplane) and drives the oracle's incremental state through single
@@ -59,7 +64,11 @@ type MDIndex struct {
 	OracleCalls int
 	// HyperplaneCount is |H| before any MaxHyperplanes cap.
 	HyperplaneCount int
-	rng             *rand.Rand
+	// querySeed seeds the per-call randomness of Baseline's NLP solves.
+	// Every Baseline call starts from this fixed seed, which makes answers
+	// deterministic across calls and across save/load, and makes Baseline
+	// safe for concurrent use (no shared rand.Rand state).
+	querySeed int64
 }
 
 // SatRegions is Algorithm 4: build ordering-exchange hyperplanes for every
@@ -110,22 +119,15 @@ func SatRegions(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*MDIn
 		Oracle:          oracle,
 		DS:              ds,
 		HyperplaneCount: total,
-		rng:             rng,
+		querySeed:       opt.Seed + 1,
 	}
 	counter := &fairness.Counter{O: oracle}
 	if opt.IncrementalLabeling {
-		if err := labelRegionsIncremental(idx, counter, itemIDs); err != nil {
+		if err := labelRegionsIncremental(idx, counter, itemIDs, opt.Workers); err != nil {
 			return nil, err
 		}
-	} else {
-		for _, r := range arr.Regions() {
-			w := geom.Angles(r.Witness).ToCartesian(1)
-			order, err := ranking.Order(ds, w)
-			if err != nil {
-				return nil, err
-			}
-			r.Satisfactory = counter.Check(order)
-		}
+	} else if err := labelRegionsByWitness(idx, counter, opt.Workers); err != nil {
+		return nil, err
 	}
 	for _, r := range arr.Regions() {
 		if r.Satisfactory {
@@ -162,11 +164,16 @@ func (idx *MDIndex) Baseline(w geom.Vector) (geom.Vector, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// A fresh rng per call keeps Baseline deterministic (two identical
+	// queries — or a query before and after save/load — get identical
+	// answers) and free of shared mutable state, so concurrent callers
+	// never race.
+	rng := rand.New(rand.NewSource(idx.querySeed))
 	best := math.Inf(1)
 	var bestAng geom.Angles
 	for _, reg := range idx.Sat {
 		cons := idx.Arr.Constraints(reg)
-		p, dist, err := nlp.ClosestAnglePoint(q, cons, idx.Arr.Box, nlp.Options{}, idx.rng)
+		p, dist, err := nlp.ClosestAnglePoint(q, cons, idx.Arr.Box, nlp.Options{}, rng)
 		if err != nil {
 			continue // degenerate region; skip
 		}

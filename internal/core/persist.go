@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"fairrank/internal/arrangement"
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+)
+
+// mdIndexFile is the on-disk representation of an exact arrangement index:
+// the hyperplanes, every region with its half-space sides and witness, and
+// the query seed, which together determine Baseline's answers exactly.
+type mdIndexFile struct {
+	FormatVersion   int
+	BoxLo, BoxHi    geom.Vector
+	Hyperplanes     []geom.Hyperplane
+	Regions         []*arrangement.Region
+	HyperplaneCount int
+	OracleCalls     int
+	QuerySeed       int64
+}
+
+// mdIndexFormatVersion guards against loading exact indexes written by an
+// incompatible build.
+const mdIndexFormatVersion = 1
+
+// WriteIndex serializes the index so the exponential offline arrangement
+// build can be paid once and reused across processes.
+func (idx *MDIndex) WriteIndex(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&mdIndexFile{
+		FormatVersion:   mdIndexFormatVersion,
+		BoxLo:           idx.Arr.Box.Lo,
+		BoxHi:           idx.Arr.Box.Hi,
+		Hyperplanes:     idx.Arr.Hyperplanes,
+		Regions:         idx.Arr.Regions(),
+		HyperplaneCount: idx.HyperplaneCount,
+		OracleCalls:     idx.OracleCalls,
+		QuerySeed:       idx.querySeed,
+	})
+}
+
+// LoadIndex reconstructs a queryable exact index from WriteIndex output. The
+// dataset and oracle must be the ones the index was built for; Baseline on a
+// loaded index returns byte-identical answers to the index that wrote it
+// (both solve the per-region NLPs from the same persisted query seed).
+func LoadIndex(r io.Reader, ds *dataset.Dataset, oracle fairness.Oracle) (*MDIndex, error) {
+	var file mdIndexFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("core: decoding index: %w", err)
+	}
+	if file.FormatVersion != mdIndexFormatVersion {
+		return nil, fmt.Errorf("core: index format %d, want %d", file.FormatVersion, mdIndexFormatVersion)
+	}
+	m := ds.D() - 1
+	if len(file.BoxLo) != m || len(file.BoxHi) != m {
+		return nil, fmt.Errorf("core: index box dimension %d, dataset needs %d", len(file.BoxLo), m)
+	}
+	for i, h := range file.Hyperplanes {
+		if len(h.Coef) != m {
+			return nil, fmt.Errorf("core: hyperplane %d has dimension %d, want %d", i, len(h.Coef), m)
+		}
+	}
+	for i, reg := range file.Regions {
+		if reg == nil {
+			return nil, fmt.Errorf("core: nil region %d in index", i)
+		}
+		if len(reg.Witness) != m {
+			return nil, fmt.Errorf("core: region %d witness dimension %d, want %d", i, len(reg.Witness), m)
+		}
+		for _, sh := range reg.Sides {
+			if sh.H < 0 || sh.H >= len(file.Hyperplanes) {
+				return nil, fmt.Errorf("core: region %d references hyperplane %d of %d", i, sh.H, len(file.Hyperplanes))
+			}
+		}
+	}
+	arr := arrangement.Reconstruct(geom.Box{Lo: file.BoxLo, Hi: file.BoxHi}, file.Hyperplanes, file.Regions)
+	idx := &MDIndex{
+		Arr:             arr,
+		Oracle:          oracle,
+		DS:              ds,
+		OracleCalls:     file.OracleCalls,
+		HyperplaneCount: file.HyperplaneCount,
+		querySeed:       file.QuerySeed,
+	}
+	for _, reg := range file.Regions {
+		if reg.Satisfactory {
+			idx.Sat = append(idx.Sat, reg)
+		}
+	}
+	return idx, nil
+}

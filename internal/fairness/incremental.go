@@ -1,5 +1,7 @@
 package fairness
 
+import "math"
+
 // Incremental is the stateful counterpart of Oracle for sweep-style
 // algorithms: between two consecutive sectors of the 2D ray sweep (or two
 // adjacent arrangement regions) the ordering changes by a single swap, so a
@@ -144,6 +146,84 @@ func (s *topKInc) bump(g, delta int) {
 }
 
 func (s *topKInc) Valid() bool { return s.violations == 0 }
+
+// Incremental implements IncrementalProvider. The state maintains the
+// per-prefix protected counts c(i) = |{j ≤ i : order[j] protected}| for
+// i < k and the number of violated prefixes. A swap of positions posA < posB
+// moves a protected item past an unprotected one (or vice versa), shifting
+// c(i) by ±1 exactly for i ∈ [posA, min(posB, k)−1]; each shifted prefix
+// crosses its FA*IR threshold ⌊p·(i+1)⌋ − slack by at most one, so the
+// violation counter updates in O(1) per shifted prefix. Worst case O(k) per
+// swap, O(1) when the swap is outside the prefix window — against the
+// fallback's O(k) full re-check on every probe.
+func (pf *Prefix) Incremental() Incremental {
+	need := make([]int, pf.k)
+	for i := range need {
+		need[i] = int(math.Floor(pf.p*float64(i+1))) - pf.slack
+	}
+	return &prefixInc{pf: pf, need: need, counts: make([]int, pf.k)}
+}
+
+type prefixInc struct {
+	pf         *Prefix
+	order      []int
+	counts     []int // counts[i] = protected members among order[0..i]
+	need       []int // need[i] = required protected members among order[0..i]
+	violations int
+}
+
+func (s *prefixInc) Begin(order []int) {
+	s.order = order
+	s.violations = 0
+	count := 0
+	for i := 0; i < s.pf.k; i++ {
+		if s.pf.protected[order[i]] {
+			count++
+		}
+		s.counts[i] = count
+		if count < s.need[i] {
+			s.violations++
+		}
+	}
+}
+
+func (s *prefixInc) Swap(posA, posB int) {
+	if posA > posB {
+		posA, posB = posB, posA
+	}
+	if posA >= s.pf.k {
+		return // both positions beyond the inspected prefix
+	}
+	// The swap already happened: order[posA] moved up from posB. Prefixes
+	// i ≥ posB (or beyond k) contain both items before and after, and
+	// prefixes i < posA contain neither, so only [posA, min(posB,k)−1] shift.
+	a := s.pf.protected[s.order[posA]]
+	b := s.pf.protected[s.order[posB]]
+	if a == b {
+		return
+	}
+	delta := -1
+	if a {
+		delta = 1 // a protected item moved into these prefixes
+	}
+	hi := posB
+	if hi > s.pf.k {
+		hi = s.pf.k
+	}
+	for i := posA; i < hi; i++ {
+		was := s.counts[i] < s.need[i]
+		s.counts[i] += delta
+		if now := s.counts[i] < s.need[i]; now != was {
+			if now {
+				s.violations++
+			} else {
+				s.violations--
+			}
+		}
+	}
+}
+
+func (s *prefixInc) Valid() bool { return s.violations == 0 }
 
 // Incremental implements IncrementalProvider: every member gets its own
 // state (native or fallback); the conjunction is re-evaluated per Valid in

@@ -107,10 +107,52 @@ func TestIncrementalCombinators(t *testing.T) {
 		Any{a, b},
 		Not{a},
 		All{a, Any{b, Not{a}}},
-		All{a, prefix}, // prefix has no native state: exercises the fallback inside a combinator
+		All{a, prefix},
+		Any{prefix, Not{b}},
 	}
 	for i, o := range cases {
 		driveEquivalence(t, o, 30, int64(200+i))
+	}
+}
+
+func TestIncrementalPrefixMatchesCheck(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(30)
+		ds := randGrouped(t, r, n, 2+r.Intn(3))
+		k := 2 + r.Intn(n-2)
+		pf, err := NewPrefix(ds, "g", "a", k, 0.1+0.5*r.Float64(), r.Intn(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := Oracle(pf).(IncrementalProvider); !ok {
+			t.Fatal("Prefix should provide a native incremental state")
+		}
+		driveEquivalence(t, pf, n, seed)
+	}
+}
+
+// The prefix state must stay exact across the boundary cases a random drive
+// may hit rarely: swaps straddling k, swaps entirely past k, and need
+// thresholds at or below zero.
+func TestIncrementalPrefixBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	ds := randGrouped(t, r, 24, 2)
+	for _, tc := range []struct {
+		k     int
+		p     float64
+		slack int
+	}{
+		{1, 0.9, 0},  // single-prefix window
+		{24, 0.5, 0}, // whole dataset: every swap inside the window
+		{12, 0.0, 0}, // need = 0 everywhere: never violated
+		{12, 0.9, 5}, // big slack pushes early needs below zero
+	} {
+		pf, err := NewPrefix(ds, "g", "a", tc.k, tc.p, tc.slack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveEquivalence(t, pf, 24, int64(300+tc.k))
 	}
 }
 

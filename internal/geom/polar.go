@@ -83,6 +83,25 @@ func ToPolar(w Vector) (r float64, a Angles, err error) {
 	return r, a, nil
 }
 
+// ToPolar2D is ToPolar specialized to d = 2, returning the single angle as a
+// scalar instead of allocating an Angles slice. The arithmetic matches
+// ToPolar operation for operation, so the results are bit-identical — batch
+// query paths rely on that to answer exactly like the scalar path.
+func ToPolar2D(w Vector) (r, theta float64, err error) {
+	if len(w) != 2 {
+		return 0, 0, fmt.Errorf("geom: ToPolar2D needs dimension 2, got %d", len(w))
+	}
+	if !w.IsNonNegative() {
+		return 0, 0, fmt.Errorf("geom: ToPolar requires a non-negative vector, got %v", w)
+	}
+	r = w.Norm()
+	if r < Eps {
+		return 0, 0, fmt.Errorf("geom: ToPolar undefined for zero vector")
+	}
+	theta = math.Atan2(math.Max(w[1], 0), math.Sqrt(w[0]*w[0]))
+	return r, theta, nil
+}
+
 // AngleDistance returns the angular distance between the rays identified by
 // angle vectors a and b (Eq. 10 of the paper). It is computed by converting
 // both to Cartesian unit vectors; the closed-form product expansion of Eq. 10

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// latency histogram buckets: powers of 4 from 1µs to ~1s, plus overflow.
+// Suggest on a warm 2D index sits in the first buckets; a cold ModeExact
+// NLP solve lands near the top — one scale covers every engine.
+var bucketBounds = [...]time.Duration{
+	1 * time.Microsecond,
+	4 * time.Microsecond,
+	16 * time.Microsecond,
+	64 * time.Microsecond,
+	256 * time.Microsecond,
+	1 * time.Millisecond,
+	4 * time.Millisecond,
+	16 * time.Millisecond,
+	64 * time.Millisecond,
+	256 * time.Millisecond,
+	1 * time.Second,
+}
+
+// Metrics accumulates per-designer serving counters. All fields are atomic:
+// the query path records without locks, and Snapshot reads without stopping
+// traffic.
+type Metrics struct {
+	queries      atomic.Int64 // single Suggest calls served
+	batches      atomic.Int64 // SuggestBatch calls served
+	batchQueries atomic.Int64 // queries served through batches
+	errors       atomic.Int64 // queries that returned an error
+	latencySum   atomic.Int64 // nanoseconds, per-query (batch time amortized)
+	latencyCount atomic.Int64
+	buckets      [len(bucketBounds) + 1]atomic.Int64
+}
+
+// recordQueries records n single-query observations of the given total
+// duration.
+func (m *Metrics) recordQueries(n int, elapsed time.Duration, failed int) {
+	m.queries.Add(int64(n))
+	m.errors.Add(int64(failed))
+	m.observe(n, elapsed)
+}
+
+// recordBatch records one batch of n queries served in elapsed total time;
+// the histogram takes the amortized per-query latency.
+func (m *Metrics) recordBatch(n int, elapsed time.Duration, failed int) {
+	m.batches.Add(1)
+	m.batchQueries.Add(int64(n))
+	m.errors.Add(int64(failed))
+	m.observe(n, elapsed)
+}
+
+func (m *Metrics) observe(n int, elapsed time.Duration) {
+	if n <= 0 {
+		return
+	}
+	per := elapsed / time.Duration(n)
+	m.latencySum.Add(int64(elapsed))
+	m.latencyCount.Add(int64(n))
+	for i, bound := range bucketBounds {
+		if per < bound {
+			m.buckets[i].Add(int64(n))
+			return
+		}
+	}
+	m.buckets[len(bucketBounds)].Add(int64(n))
+}
+
+// Bucket is one histogram bar: the count of queries whose per-query latency
+// fell below Le (an upper bound like "256µs"; "+inf" for the overflow bar).
+type Bucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters, shaped for JSON.
+type MetricsSnapshot struct {
+	Queries        int64    `json:"queries"`
+	Batches        int64    `json:"batches"`
+	BatchQueries   int64    `json:"batch_queries"`
+	Errors         int64    `json:"errors"`
+	LatencyMeanNs  int64    `json:"latency_mean_ns"`
+	LatencyBuckets []Bucket `json:"latency_buckets"`
+}
+
+// Snapshot copies the counters. Taken bucket-by-bucket without a lock, so
+// totals may be mid-update by a few queries — fine for monitoring.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Queries:      m.queries.Load(),
+		Batches:      m.batches.Load(),
+		BatchQueries: m.batchQueries.Load(),
+		Errors:       m.errors.Load(),
+	}
+	if count := m.latencyCount.Load(); count > 0 {
+		s.LatencyMeanNs = m.latencySum.Load() / count
+	}
+	s.LatencyBuckets = make([]Bucket, 0, len(m.buckets))
+	for i := range m.buckets {
+		le := "+inf"
+		if i < len(bucketBounds) {
+			le = formatBound(bucketBounds[i])
+		}
+		s.LatencyBuckets = append(s.LatencyBuckets, Bucket{Le: le, Count: m.buckets[i].Load()})
+	}
+	return s
+}
+
+func formatBound(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%ds", int(d/time.Second))
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%dms", int(d/time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", int(d/time.Microsecond))
+	}
+}

@@ -1,0 +1,367 @@
+// Package service is the concurrent query-serving subsystem behind
+// fairrank.Server and cmd/fairrankd: a registry of named designers with
+// lock-free atomic engine swap on the query path, background index builds
+// with status reporting, and a drift-handling rebuild-and-swap loop.
+//
+// The package is deliberately independent of the public fairrank package
+// (which wraps it): it serves anything implementing Engine, so the registry,
+// metrics, and rebuild machinery can be tested and evolved without dragging
+// the preprocessing pipelines along.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Suggestion mirrors fairrank.Suggestion without importing it.
+type Suggestion struct {
+	Weights     []float64
+	Distance    float64
+	AlreadyFair bool
+}
+
+// Result is one slot of a batch answer: exactly one of Suggestion and Err is
+// set.
+type Result struct {
+	Suggestion *Suggestion
+	Err        error
+}
+
+// Engine is the query surface the registry serves: a preprocessed designer.
+// Implementations must be safe for concurrent use — the registry fans
+// queries out without additional locking.
+type Engine interface {
+	// Suggest answers one design query.
+	Suggest(w []float64) (*Suggestion, error)
+	// SuggestBatch answers many queries, amortizing per-call overhead.
+	SuggestBatch(ws [][]float64) []Result
+	// ModeName names the underlying engine ("2d", "exact", "approx").
+	ModeName() string
+	// SaveIndex serializes the engine's index for reuse across restarts.
+	SaveIndex(w io.Writer) error
+}
+
+// BuildFunc builds (or rebuilds) an engine — the offline phase. It runs on a
+// background goroutine owned by the registry.
+type BuildFunc func() (Engine, error)
+
+// Status is the lifecycle state of a registry entry.
+type Status string
+
+// Entry lifecycle states. A rebuilding entry keeps serving its previous
+// engine until the new one swaps in.
+const (
+	StatusBuilding   Status = "building"
+	StatusReady      Status = "ready"
+	StatusRebuilding Status = "rebuilding"
+	StatusFailed     Status = "failed"
+)
+
+// ErrNotReady is returned by query methods while the entry's first build is
+// still running or has failed.
+var ErrNotReady = errors.New("service: designer index not ready")
+
+// ErrBuildInProgress is returned by Rebuild when a build is already running.
+var ErrBuildInProgress = errors.New("service: build already in progress")
+
+// engineBox wraps the Engine interface so it can live in an atomic.Pointer.
+type engineBox struct{ e Engine }
+
+// Entry is one named designer in the registry. The query path reads the
+// engine through a single atomic load; builds and rebuilds happen on
+// background goroutines and swap the pointer when done.
+type Entry struct {
+	name   string
+	build  BuildFunc
+	engine atomic.Pointer[engineBox]
+
+	mu       sync.Mutex // guards status, buildErr, done, rebuilds
+	status   Status
+	buildErr error
+	done     chan struct{} // closed when the in-flight build finishes
+	rebuilds int
+
+	metrics Metrics
+}
+
+// Registry is a read-write-locked collection of named entries. The lock
+// covers only the name table; per-entry state has its own synchronization,
+// so a slow build never blocks queries to other designers.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Create registers a new entry and starts its first build in the background.
+// It returns the entry immediately; use WaitReady or Status to observe the
+// build.
+func (r *Registry) Create(name string, build BuildFunc) (*Entry, error) {
+	return r.add(name, nil, build)
+}
+
+// CreateReady registers a new entry that already has an engine (typically
+// loaded from a persisted index), skipping the initial build. The build
+// function is kept for drift-triggered rebuilds.
+func (r *Registry) CreateReady(name string, e Engine, build BuildFunc) (*Entry, error) {
+	if e == nil {
+		return nil, errors.New("service: CreateReady with nil engine")
+	}
+	return r.add(name, e, build)
+}
+
+func (r *Registry) add(name string, e Engine, build BuildFunc) (*Entry, error) {
+	if name == "" {
+		return nil, errors.New("service: empty designer name")
+	}
+	if build == nil {
+		return nil, errors.New("service: nil build function")
+	}
+	entry := &Entry{name: name, build: build}
+	if e != nil {
+		entry.engine.Store(&engineBox{e: e})
+		entry.status = StatusReady
+	} else {
+		entry.status = StatusBuilding
+		entry.done = make(chan struct{})
+	}
+	r.mu.Lock()
+	if _, dup := r.entries[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("service: designer %q already exists", name)
+	}
+	r.entries[name] = entry
+	r.mu.Unlock()
+	if entry.done != nil {
+		go entry.runBuild(entry.done, build)
+	}
+	return entry, nil
+}
+
+// Get returns the named entry.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Range calls f for every entry in name order, stopping when f returns
+// false.
+func (r *Registry) Range(f func(*Entry) bool) {
+	for _, n := range r.Names() {
+		if e, ok := r.Get(n); ok && !f(e) {
+			return
+		}
+	}
+}
+
+// SetBuild replaces the entry's build function; rebuilds started after the
+// call use it. The drift loop uses this to repoint a designer at updated
+// data before rebuilding.
+func (e *Entry) SetBuild(build BuildFunc) {
+	if build == nil {
+		return
+	}
+	e.mu.Lock()
+	e.build = build
+	e.mu.Unlock()
+}
+
+// runBuild executes the given build function and publishes the result. On
+// rebuild failure the previous engine keeps serving.
+func (e *Entry) runBuild(done chan struct{}, build BuildFunc) {
+	eng, err := build()
+	e.mu.Lock()
+	if err != nil {
+		e.buildErr = err
+		if e.engine.Load() == nil {
+			e.status = StatusFailed
+		} else {
+			e.status = StatusReady // old engine still serving
+		}
+	} else {
+		e.engine.Store(&engineBox{e: eng})
+		e.buildErr = nil
+		e.status = StatusReady
+	}
+	e.done = nil
+	e.mu.Unlock()
+	close(done)
+}
+
+// Rebuild starts a background rebuild; the current engine (if any) keeps
+// serving until the new index atomically swaps in. Returns
+// ErrBuildInProgress when a build is already running.
+func (e *Entry) Rebuild() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done != nil {
+		return ErrBuildInProgress
+	}
+	if e.engine.Load() == nil {
+		e.status = StatusBuilding
+	} else {
+		e.status = StatusRebuilding
+	}
+	e.rebuilds++
+	e.done = make(chan struct{})
+	go e.runBuild(e.done, e.build)
+	return nil
+}
+
+// WaitReady blocks until the in-flight build (if any) completes or the
+// context is done, then reports the entry's readiness: nil when an engine is
+// serving, the build error or ErrNotReady otherwise.
+func (e *Entry) WaitReady(ctx context.Context) error {
+	for {
+		e.mu.Lock()
+		done := e.done
+		e.mu.Unlock()
+		if done == nil {
+			if e.engine.Load() != nil {
+				return nil
+			}
+			e.mu.Lock()
+			err := e.buildErr
+			e.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			return ErrNotReady
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Name returns the entry's registry name.
+func (e *Entry) Name() string { return e.name }
+
+// Engine returns the currently serving engine, or ErrNotReady (wrapping the
+// build failure, when one happened) if none is available yet.
+func (e *Entry) Engine() (Engine, error) {
+	if box := e.engine.Load(); box != nil {
+		return box.e, nil
+	}
+	e.mu.Lock()
+	err := e.buildErr
+	e.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("%w: build failed: %v", ErrNotReady, err)
+	}
+	return nil, ErrNotReady
+}
+
+// Suggest answers one query against the current engine, recording query
+// count and latency.
+func (e *Entry) Suggest(w []float64) (*Suggestion, error) {
+	eng, err := e.Engine()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s, err := eng.Suggest(w)
+	e.metrics.recordQueries(1, time.Since(start), boolToInt(err != nil))
+	return s, err
+}
+
+// SuggestBatch answers a batch against the current engine. The histogram
+// records the batch's amortized per-query latency, keeping single and batch
+// traffic comparable on one scale.
+func (e *Entry) SuggestBatch(ws [][]float64) ([]Result, error) {
+	eng, err := e.Engine()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	results := eng.SuggestBatch(ws)
+	elapsed := time.Since(start)
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+		}
+	}
+	e.metrics.recordBatch(len(ws), elapsed, failed)
+	return results, nil
+}
+
+// Revalidate runs the drift check against the current engine and, when the
+// index no longer holds, kicks off a background rebuild-and-swap (unless one
+// is already running). It returns the check's verdict and detail.
+func (e *Entry) Revalidate(check func(Engine) (healthy bool, detail string, err error)) (bool, string, error) {
+	eng, err := e.Engine()
+	if err != nil {
+		return false, "", err
+	}
+	healthy, detail, err := check(eng)
+	if err != nil {
+		return false, detail, err
+	}
+	if !healthy {
+		if rerr := e.Rebuild(); rerr != nil && !errors.Is(rerr, ErrBuildInProgress) {
+			return healthy, detail, rerr
+		}
+	}
+	return healthy, detail, nil
+}
+
+// StatusInfo is a point-in-time snapshot of an entry for status endpoints.
+type StatusInfo struct {
+	Name     string          `json:"name"`
+	Status   Status          `json:"status"`
+	Mode     string          `json:"mode,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Rebuilds int             `json:"rebuilds"`
+	Metrics  MetricsSnapshot `json:"metrics"`
+}
+
+// Status returns the entry's current lifecycle state, engine mode, last
+// build error, and metrics.
+func (e *Entry) Status() StatusInfo {
+	e.mu.Lock()
+	info := StatusInfo{Name: e.name, Status: e.status, Rebuilds: e.rebuilds}
+	if e.buildErr != nil {
+		info.Error = e.buildErr.Error()
+	}
+	e.mu.Unlock()
+	if box := e.engine.Load(); box != nil {
+		info.Mode = box.e.ModeName()
+	}
+	info.Metrics = e.metrics.Snapshot()
+	return info
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

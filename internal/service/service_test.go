@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeEngine answers every query with a fixed tag so tests can observe which
+// engine generation served them.
+type fakeEngine struct {
+	tag  float64
+	mode string
+}
+
+func (f *fakeEngine) Suggest(w []float64) (*Suggestion, error) {
+	if len(w) == 0 {
+		return nil, errors.New("empty query")
+	}
+	return &Suggestion{Weights: []float64{f.tag}, Distance: f.tag}, nil
+}
+
+func (f *fakeEngine) SuggestBatch(ws [][]float64) []Result {
+	out := make([]Result, len(ws))
+	for i, w := range ws {
+		out[i].Suggestion, out[i].Err = f.Suggest(w)
+	}
+	return out
+}
+
+func (f *fakeEngine) ModeName() string          { return f.mode }
+func (f *fakeEngine) SaveIndex(io.Writer) error { return nil }
+
+func ctxWithTimeout(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRegistryBuildLifecycle(t *testing.T) {
+	r := NewRegistry()
+	release := make(chan struct{})
+	entry, err := r.Create("d1", func() (Engine, error) {
+		<-release
+		return &fakeEngine{tag: 1, mode: "2d"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := entry.Status(); st.Status != StatusBuilding {
+		t.Fatalf("status before build finishes = %v", st.Status)
+	}
+	if _, err := entry.Suggest([]float64{1}); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("suggest before ready: %v", err)
+	}
+	close(release)
+	if err := entry.WaitReady(ctxWithTimeout(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := entry.Status()
+	if st.Status != StatusReady || st.Mode != "2d" {
+		t.Fatalf("status after build = %+v", st)
+	}
+	s, err := entry.Suggest([]float64{1})
+	if err != nil || s.Weights[0] != 1 {
+		t.Fatalf("suggest = %v, %v", s, err)
+	}
+}
+
+func TestRegistryBuildFailure(t *testing.T) {
+	r := NewRegistry()
+	entry, err := r.Create("bad", func() (Engine, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := entry.WaitReady(ctxWithTimeout(t)); err == nil {
+		t.Fatal("WaitReady should surface the build error")
+	}
+	st := entry.Status()
+	if st.Status != StatusFailed || st.Error == "" {
+		t.Fatalf("status after failed build = %+v", st)
+	}
+	if _, err := entry.Suggest([]float64{1}); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("suggest after failed build: %v", err)
+	}
+}
+
+func TestRegistryDuplicateAndLookup(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Create("x", func() (Engine, error) { return &fakeEngine{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("x", func() (Engine, error) { return &fakeEngine{}, nil }); err == nil {
+		t.Fatal("duplicate name should error")
+	}
+	if _, err := r.CreateReady("y", &fakeEngine{mode: "approx"}, func() (Engine, error) { return &fakeEngine{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("y"); !ok {
+		t.Fatal("Get(y) failed")
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+// A rebuild must keep the old engine serving until the new one swaps in, and
+// a failed rebuild must not disturb the serving engine.
+func TestRebuildSwapAndFailure(t *testing.T) {
+	r := NewRegistry()
+	entry, err := r.CreateReady("d", &fakeEngine{tag: 1, mode: "2d"}, nil)
+	if err == nil {
+		t.Fatal("CreateReady without build function should error (rebuilds need it)")
+	}
+	gen := 1.0
+	var mu sync.Mutex
+	release := make(chan struct{})
+	entry, err = r.CreateReady("d", &fakeEngine{tag: 1, mode: "2d"}, func() (Engine, error) {
+		<-release
+		mu.Lock()
+		defer mu.Unlock()
+		gen++
+		return &fakeEngine{tag: gen, mode: "2d"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := entry.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := entry.Rebuild(); !errors.Is(err, ErrBuildInProgress) {
+		t.Fatalf("second rebuild: %v", err)
+	}
+	// Old engine still serving mid-rebuild.
+	if s, err := entry.Suggest([]float64{1}); err != nil || s.Weights[0] != 1 {
+		t.Fatalf("mid-rebuild suggest = %v, %v", s, err)
+	}
+	if st := entry.Status(); st.Status != StatusRebuilding {
+		t.Fatalf("mid-rebuild status = %v", st.Status)
+	}
+	close(release)
+	if err := entry.WaitReady(ctxWithTimeout(t)); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := entry.Suggest([]float64{1}); s.Weights[0] != 2 {
+		t.Fatalf("post-rebuild suggest served generation %v, want 2", s.Weights[0])
+	}
+	if st := entry.Status(); st.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d", st.Rebuilds)
+	}
+}
+
+func TestRevalidateTriggersRebuild(t *testing.T) {
+	r := NewRegistry()
+	builds := 0
+	var mu sync.Mutex
+	entry, err := r.CreateReady("d", &fakeEngine{tag: 1, mode: "2d"}, func() (Engine, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		builds++
+		return &fakeEngine{tag: 10, mode: "2d"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, detail, err := entry.Revalidate(func(Engine) (bool, string, error) {
+		return true, "all intervals hold", nil
+	})
+	if err != nil || !healthy || detail == "" {
+		t.Fatalf("healthy revalidate = %v %q %v", healthy, detail, err)
+	}
+	mu.Lock()
+	if builds != 0 {
+		t.Fatal("healthy revalidate must not rebuild")
+	}
+	mu.Unlock()
+	healthy, _, err = entry.Revalidate(func(Engine) (bool, string, error) {
+		return false, "3 intervals violated", nil
+	})
+	if err != nil || healthy {
+		t.Fatalf("drifted revalidate = %v %v", healthy, err)
+	}
+	if err := entry.WaitReady(ctxWithTimeout(t)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if builds != 1 {
+		t.Fatalf("builds after drifted revalidate = %d", builds)
+	}
+	mu.Unlock()
+	if s, _ := entry.Suggest([]float64{1}); s.Weights[0] != 10 {
+		t.Fatalf("rebuilt engine not swapped in: tag %v", s.Weights[0])
+	}
+}
+
+func TestMetricsCounts(t *testing.T) {
+	r := NewRegistry()
+	entry, err := r.CreateReady("d", &fakeEngine{tag: 1}, func() (Engine, error) { return &fakeEngine{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		entry.Suggest([]float64{1})
+	}
+	entry.Suggest(nil) // error path
+	if _, err := entry.SuggestBatch([][]float64{{1}, {2}, nil}); err != nil {
+		t.Fatal(err)
+	}
+	m := entry.Status().Metrics
+	if m.Queries != 6 || m.Batches != 1 || m.BatchQueries != 3 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if m.Errors != 2 {
+		t.Fatalf("errors = %d, want 2 (one single, one batch slot)", m.Errors)
+	}
+	var histTotal int64
+	for _, b := range m.LatencyBuckets {
+		histTotal += b.Count
+	}
+	if histTotal != 9 {
+		t.Fatalf("histogram total = %d, want 9 observations", histTotal)
+	}
+	if m.LatencyMeanNs < 0 {
+		t.Fatalf("mean = %d", m.LatencyMeanNs)
+	}
+}
+
+// Queries from many goroutines racing builds and rebuilds: exercised under
+// -race in CI.
+func TestConcurrentQueriesDuringRebuilds(t *testing.T) {
+	r := NewRegistry()
+	entry, err := r.CreateReady("d", &fakeEngine{tag: 1}, func() (Engine, error) {
+		return &fakeEngine{tag: 2}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if s, err := entry.Suggest([]float64{1}); err != nil || s == nil {
+					t.Errorf("suggest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		entry.Rebuild()
+	}
+	wg.Wait()
+	if err := entry.WaitReady(ctxWithTimeout(t)); err != nil {
+		t.Fatal(err)
+	}
+}

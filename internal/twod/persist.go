@@ -1,0 +1,64 @@
+package twod
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"fairrank/internal/geom"
+)
+
+// indexFile is the on-disk representation of a 2D ray-sweep index: the
+// satisfactory intervals are the whole queryable state (Query is a pure
+// function of them); the sweep statistics ride along so a loaded index
+// reports the same counters as the one that was saved.
+type indexFile struct {
+	FormatVersion int
+	Intervals     []Interval
+	ExchangeCount int
+	OracleCalls   int
+	Sectors       int
+}
+
+// indexFormatVersion guards against loading 2D indexes written by an
+// incompatible build.
+const indexFormatVersion = 1
+
+// WriteIndex serializes the index so the offline ray sweep can be paid once
+// and reused across processes.
+func (idx *Index) WriteIndex(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&indexFile{
+		FormatVersion: indexFormatVersion,
+		Intervals:     idx.intervals,
+		ExchangeCount: idx.ExchangeCount,
+		OracleCalls:   idx.OracleCalls,
+		Sectors:       idx.Sectors,
+	})
+}
+
+// LoadIndex reconstructs a queryable index from WriteIndex output. A loaded
+// index answers Query byte-identically to the index that wrote it.
+func LoadIndex(r io.Reader) (*Index, error) {
+	var file indexFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("twod: decoding index: %w", err)
+	}
+	if file.FormatVersion != indexFormatVersion {
+		return nil, fmt.Errorf("twod: index format %d, want %d", file.FormatVersion, indexFormatVersion)
+	}
+	for i, iv := range file.Intervals {
+		if !(iv.Start <= iv.End) || iv.Start < -geom.Eps || iv.End > math.Pi/2+geom.Eps {
+			return nil, fmt.Errorf("twod: index interval %d [%v, %v] outside [0, π/2]", i, iv.Start, iv.End)
+		}
+		if i > 0 && file.Intervals[i-1].End > iv.Start {
+			return nil, fmt.Errorf("twod: index intervals %d and %d out of order", i-1, i)
+		}
+	}
+	return &Index{
+		intervals:     file.Intervals,
+		ExchangeCount: file.ExchangeCount,
+		OracleCalls:   file.OracleCalls,
+		Sectors:       file.Sectors,
+	}, nil
+}

@@ -591,13 +591,27 @@ func (idx *Index) Query(w geom.Vector) (geom.Vector, float64, error) {
 	if len(w) != 2 {
 		return nil, 0, fmt.Errorf("twod: query weight vector has dimension %d, want 2", len(w))
 	}
-	r, a, err := geom.ToPolar(w)
+	r, theta, err := geom.ToPolar2D(w)
 	if err != nil {
 		return nil, 0, err
 	}
-	theta := a[0]
+	bestTheta, best, err := idx.QueryAngle(theta)
+	if err != nil {
+		return nil, 0, err
+	}
+	if best == 0 {
+		return w.Clone(), 0, nil
+	}
+	return geom.Vector{r * math.Cos(bestTheta), r * math.Sin(bestTheta)}, best, nil
+}
+
+// QueryAngle is Query on the polar form: given the query's angle it returns
+// the closest satisfactory angle and the angular distance (0 when theta is
+// already satisfactory). It performs no allocations, which is what the
+// SuggestBatch fast path amortizes per-call overhead down to.
+func (idx *Index) QueryAngle(theta float64) (float64, float64, error) {
 	if !idx.Satisfiable() {
-		return nil, 0, ErrUnsatisfiable
+		return 0, 0, ErrUnsatisfiable
 	}
 	// Binary search for the first interval with End ≥ theta.
 	lo, hi := 0, len(idx.intervals)
@@ -635,8 +649,5 @@ func (idx *Index) Query(w geom.Vector) (geom.Vector, float64, error) {
 	if lo > 0 {
 		consider(idx.intervals[lo-1])
 	}
-	if best == 0 {
-		return w.Clone(), 0, nil
-	}
-	return geom.Vector{r * math.Cos(bestTheta), r * math.Sin(bestTheta)}, best, nil
+	return bestTheta, best, nil
 }

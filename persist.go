@@ -1,0 +1,157 @@
+package fairrank
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"fairrank/internal/cells"
+	"fairrank/internal/core"
+	"fairrank/internal/twod"
+)
+
+// Index persistence: every engine's offline phase can be saved with
+// Designer.SaveIndex and restored with LoadDesigner. The stream is a single
+// self-describing header shared by all engines — magic, format version,
+// engine mode, dimensionality, item count, and a fingerprint of the dataset
+// the index was built over — followed by the engine's own payload. The
+// header is what lets a serving process (cmd/fairrankd) pick up whatever
+// index files it finds in its data directory and refuse, with a precise
+// error, the ones that do not match the data it is holding.
+
+// indexMagic identifies a fairrank index stream; it doubles as a version
+// gate for the header layout itself.
+var indexMagic = [8]byte{'F', 'R', 'N', 'K', 'I', 'D', 'X', '1'}
+
+// IndexFormatVersion is the current version of the universal index header.
+// Engine payloads carry their own format versions on top of it.
+const IndexFormatVersion = 1
+
+// indexHeader is the fixed-size universal header preceding every engine
+// payload.
+type indexHeader struct {
+	Version     uint32
+	Mode        uint32
+	D           uint32
+	Flags       uint32
+	N           uint64
+	Fingerprint uint64
+}
+
+// Header flag bits: query-time designer settings that must survive a
+// save/load cycle for a loaded designer to answer identically.
+const flagRefineQueries = 1 << 0
+
+// ErrCorruptIndex reports that a stream is not a fairrank index or was
+// truncated or damaged before the engine payload.
+var ErrCorruptIndex = errors.New("fairrank: corrupt or truncated index stream")
+
+// ErrDatasetMismatch reports that an index was built over a different
+// dataset than the one supplied to LoadDesigner.
+var ErrDatasetMismatch = errors.New("fairrank: index was built for a different dataset")
+
+// writeIndexHeader writes the magic and the universal header.
+func writeIndexHeader(w io.Writer, mode Mode, ds *Dataset, flags uint32) error {
+	if _, err := w.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, indexHeader{
+		Version:     IndexFormatVersion,
+		Mode:        uint32(mode),
+		D:           uint32(ds.D()),
+		Flags:       flags,
+		N:           uint64(ds.N()),
+		Fingerprint: ds.Fingerprint(),
+	})
+}
+
+// readIndexHeader reads and validates the magic and the universal header
+// against the dataset the caller wants to serve.
+func readIndexHeader(r io.Reader, ds *Dataset) (Mode, uint32, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
+	}
+	if magic != indexMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrCorruptIndex, magic[:])
+	}
+	var h indexHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
+	}
+	if h.Version != IndexFormatVersion {
+		return 0, 0, fmt.Errorf("fairrank: index header version %d, want %d", h.Version, IndexFormatVersion)
+	}
+	mode := Mode(h.Mode)
+	switch mode {
+	case Mode2D, ModeExact, ModeApprox:
+	default:
+		return 0, 0, fmt.Errorf("%w: unknown engine mode %d", ErrCorruptIndex, h.Mode)
+	}
+	if int(h.D) != ds.D() || h.N != uint64(ds.N()) {
+		return 0, 0, fmt.Errorf("%w: index is over n=%d, d=%d; dataset has n=%d, d=%d",
+			ErrDatasetMismatch, h.N, h.D, ds.N(), ds.D())
+	}
+	if h.Fingerprint != ds.Fingerprint() {
+		return 0, 0, fmt.Errorf("%w: dataset fingerprint %#x, index was built for %#x",
+			ErrDatasetMismatch, ds.Fingerprint(), h.Fingerprint)
+	}
+	return mode, h.Flags, nil
+}
+
+// SaveIndex serializes the designer's preprocessed index so the offline
+// phase can be paid once and reused across processes (see LoadDesigner).
+// All three engines are supported; the stream starts with a universal header
+// recording the engine mode and a fingerprint of the dataset.
+func (d *Designer) SaveIndex(w io.Writer) error {
+	var flags uint32
+	if d.refine {
+		flags |= flagRefineQueries
+	}
+	if err := writeIndexHeader(w, d.mode, d.ds, flags); err != nil {
+		return err
+	}
+	switch d.mode {
+	case Mode2D:
+		return d.idx2d.WriteIndex(w)
+	case ModeExact:
+		return d.exact.WriteIndex(w)
+	case ModeApprox:
+		return d.approx.WriteIndex(w)
+	default:
+		return fmt.Errorf("%w: %v", ErrUnsupportedMode, d.mode)
+	}
+}
+
+// LoadDesigner reconstructs a designer of any engine mode from a SaveIndex
+// stream. ds and oracle must be the ones the index was built for: the
+// header's dataset fingerprint is checked (ErrDatasetMismatch), and damaged
+// streams fail with ErrCorruptIndex or an engine decoding error. A loaded
+// designer returns byte-identical Suggest answers to the designer that
+// wrote the index.
+func LoadDesigner(r io.Reader, ds *Dataset, oracle Oracle) (*Designer, error) {
+	if ds == nil || oracle == nil {
+		return nil, errors.New("fairrank: nil dataset or oracle")
+	}
+	mode, flags, err := readIndexHeader(r, ds)
+	if err != nil {
+		return nil, err
+	}
+	d := &Designer{ds: ds, oracle: oracle, mode: mode, refine: flags&flagRefineQueries != 0}
+	switch mode {
+	case Mode2D:
+		if d.idx2d, err = twod.LoadIndex(r); err != nil {
+			return nil, err
+		}
+	case ModeExact:
+		if d.exact, err = core.LoadIndex(r, ds, oracle); err != nil {
+			return nil, err
+		}
+	case ModeApprox:
+		if d.approx, err = cells.LoadIndex(r, ds, oracle); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

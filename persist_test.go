@@ -1,0 +1,226 @@
+package fairrank
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fairrank/internal/datagen"
+)
+
+// roundtripFixture builds a designer in the given mode over a small dataset
+// with a matching oracle, plus a set of probe queries.
+func roundtripFixture(t *testing.T, mode Mode) (*Dataset, Oracle, *Designer, [][]float64) {
+	t.Helper()
+	var (
+		ds  *Dataset
+		err error
+	)
+	d2 := mode == Mode2D
+	if d2 {
+		ds, err = datagen.Biased(80, 2, 0.5, 0.3, 1, 11)
+	} else {
+		ds, err = datagen.Uniform(24, 3, 0.5, 11)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := MinShare(ds, "group", "protected", 0.25, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: mode, Seed: 3}
+	if mode == ModeApprox {
+		cfg.Cells = 400
+		cfg.CellRegionCap = 64
+	}
+	d, err := NewDesigner(ds, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	var queries [][]float64
+	for q := 0; q < 12; q++ {
+		w := make([]float64, ds.D())
+		for k := range w {
+			w[k] = r.Float64() + 0.01
+		}
+		queries = append(queries, w)
+	}
+	return ds, oracle, d, queries
+}
+
+// Every engine's index must roundtrip through SaveIndex/LoadDesigner with
+// byte-identical Suggest answers.
+func TestSaveLoadRoundtripAllModes(t *testing.T) {
+	for _, mode := range []Mode{Mode2D, ModeExact, ModeApprox} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ds, oracle, d, queries := roundtripFixture(t, mode)
+			var buf bytes.Buffer
+			if err := d.SaveIndex(&buf); err != nil {
+				t.Fatalf("SaveIndex(%v): %v", mode, err)
+			}
+			loaded, err := LoadDesigner(bytes.NewReader(buf.Bytes()), ds, oracle)
+			if err != nil {
+				t.Fatalf("LoadDesigner(%v): %v", mode, err)
+			}
+			if loaded.Mode() != mode {
+				t.Fatalf("loaded mode %v, want %v", loaded.Mode(), mode)
+			}
+			if loaded.Satisfiable() != d.Satisfiable() {
+				t.Fatal("satisfiability changed by save/load")
+			}
+			for _, w := range queries {
+				s1, err1 := d.Suggest(w)
+				s2, err2 := loaded.Suggest(w)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("error mismatch for %v: %v vs %v", w, err1, err2)
+				}
+				if err1 != nil {
+					if !errors.Is(err1, ErrUnsatisfiable) {
+						t.Fatal(err1)
+					}
+					continue
+				}
+				if s1.Distance != s2.Distance || s1.AlreadyFair != s2.AlreadyFair {
+					t.Fatalf("answer changed by save/load: %+v vs %+v", s1, s2)
+				}
+				for k := range s1.Weights {
+					if s1.Weights[k] != s2.Weights[k] {
+						t.Fatalf("weights not byte-identical: %v vs %v", s1.Weights, s2.Weights)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLoadDesignerCorruptStream(t *testing.T) {
+	ds, oracle, d, _ := roundtripFixture(t, Mode2D)
+	var buf bytes.Buffer
+	if err := d.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Not an index at all.
+	if _, err := LoadDesigner(bytes.NewReader([]byte("not an index stream")), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
+		t.Errorf("garbage stream: got %v, want ErrCorruptIndex", err)
+	}
+	// Truncated inside the header.
+	if _, err := LoadDesigner(bytes.NewReader(good[:10]), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
+		t.Errorf("truncated header: got %v, want ErrCorruptIndex", err)
+	}
+	// Truncated inside the engine payload: the header parses, gob fails.
+	if _, err := LoadDesigner(bytes.NewReader(good[:len(good)-7]), ds, oracle); err == nil {
+		t.Error("truncated payload should fail to load")
+	}
+	// Flipped bytes in the engine payload.
+	bad := append([]byte(nil), good...)
+	for i := len(bad) - 20; i < len(bad)-12; i++ {
+		bad[i] ^= 0xff
+	}
+	if _, err := LoadDesigner(bytes.NewReader(bad), ds, oracle); err == nil {
+		t.Error("corrupted payload should fail to load")
+	}
+	// Empty stream.
+	if _, err := LoadDesigner(bytes.NewReader(nil), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
+		t.Errorf("empty stream: got %v, want ErrCorruptIndex", err)
+	}
+}
+
+func TestLoadDesignerWrongDataset(t *testing.T) {
+	ds, oracle, d, _ := roundtripFixture(t, Mode2D)
+	var buf bytes.Buffer
+	if err := d.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same shape, different values: fingerprint must catch it.
+	other, err := datagen.Biased(80, 2, 0.5, 0.3, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDesigner(bytes.NewReader(buf.Bytes()), other, oracle); !errors.Is(err, ErrDatasetMismatch) {
+		t.Errorf("different data: got %v, want ErrDatasetMismatch", err)
+	}
+	// Different shape: caught before the fingerprint.
+	smaller, err := datagen.Biased(40, 2, 0.5, 0.3, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDesigner(bytes.NewReader(buf.Bytes()), smaller, oracle); !errors.Is(err, ErrDatasetMismatch) {
+		t.Errorf("different n: got %v, want ErrDatasetMismatch", err)
+	}
+	// The dataset it was built for still loads.
+	if _, err := LoadDesigner(bytes.NewReader(buf.Bytes()), ds, oracle); err != nil {
+		t.Errorf("original dataset should load: %v", err)
+	}
+}
+
+// Query-time settings (RefineQueries) must survive the save/load cycle, or
+// a restarted server answers with a different quality than the one that
+// built the index.
+func TestSaveLoadPreservesRefineQueries(t *testing.T) {
+	ds, err := datagen.Uniform(24, 3, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := MinShare(ds, "group", "protected", 0.25, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(ds, oracle, Config{
+		Mode: ModeApprox, Cells: 400, Seed: 3, CellRegionCap: 64, RefineQueries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDesigner(&buf, ds, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.refine {
+		t.Fatal("RefineQueries lost in the save/load roundtrip")
+	}
+}
+
+// The fingerprint must react to scoring values, type values, and names —
+// and must be stable across calls.
+func TestDatasetFingerprint(t *testing.T) {
+	base := func() *Dataset {
+		ds, err := NewDataset([]string{"a", "b"}, [][]float64{{1, 2}, {3, 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.AddTypeAttr("g", []string{"x", "y"}, []int{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	ds := base()
+	if ds.Fingerprint() != base().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	valChanged, _ := NewDataset([]string{"a", "b"}, [][]float64{{1, 2}, {3, 5}})
+	valChanged.AddTypeAttr("g", []string{"x", "y"}, []int{0, 1})
+	if ds.Fingerprint() == valChanged.Fingerprint() {
+		t.Error("fingerprint ignored a scoring value change")
+	}
+	nameChanged, _ := NewDataset([]string{"a", "c"}, [][]float64{{1, 2}, {3, 4}})
+	nameChanged.AddTypeAttr("g", []string{"x", "y"}, []int{0, 1})
+	if ds.Fingerprint() == nameChanged.Fingerprint() {
+		t.Error("fingerprint ignored a scoring name change")
+	}
+	typeChanged := base()
+	// Adding one more type attribute must change the digest.
+	typeChanged.AddTypeAttr("h", []string{"p"}, []int{0, 0})
+	if ds.Fingerprint() == typeChanged.Fingerprint() {
+		t.Error("fingerprint ignored an added type attribute")
+	}
+}

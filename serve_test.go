@@ -1,0 +1,162 @@
+package fairrank
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fairrank/internal/datagen"
+)
+
+// concurrencyFixture builds a designer and a deterministic query workload.
+func concurrencyFixture(t *testing.T, mode Mode) (*Designer, [][]float64) {
+	t.Helper()
+	_, _, d, _ := roundtripFixture(t, mode)
+	r := rand.New(rand.NewSource(21))
+	queries := make([][]float64, 64)
+	for i := range queries {
+		w := make([]float64, d.ds.D())
+		for k := range w {
+			w[k] = r.Float64() + 0.01
+		}
+		queries[i] = w
+	}
+	return d, queries
+}
+
+// Suggest must be safe for concurrent use on every engine and return the
+// same answer a serial caller gets — exercised under -race in CI.
+func TestConcurrentSuggestAllModes(t *testing.T) {
+	for _, mode := range []Mode{Mode2D, ModeExact, ModeApprox} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, queries := concurrencyFixture(t, mode)
+			// Serial reference answers.
+			type ref struct {
+				dist float64
+				err  bool
+			}
+			want := make([]ref, len(queries))
+			for i, w := range queries {
+				s, err := d.Suggest(w)
+				if err != nil {
+					if !errors.Is(err, ErrUnsatisfiable) {
+						t.Fatal(err)
+					}
+					want[i] = ref{err: true}
+					continue
+				}
+				want[i] = ref{dist: s.Distance}
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for rep := 0; rep < 5; rep++ {
+						for i, w := range queries {
+							s, err := d.Suggest(w)
+							if (err != nil) != want[i].err {
+								t.Errorf("goroutine %d query %d: error mismatch %v", g, i, err)
+								return
+							}
+							if err == nil && s.Distance != want[i].dist {
+								t.Errorf("goroutine %d query %d: distance %v, serial %v", g, i, s.Distance, want[i].dist)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// SuggestBatch must return, slot for slot, exactly what Suggest returns.
+func TestSuggestBatchMatchesSuggest(t *testing.T) {
+	for _, mode := range []Mode{Mode2D, ModeExact, ModeApprox} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, queries := concurrencyFixture(t, mode)
+			results := d.SuggestBatch(queries)
+			if len(results) != len(queries) {
+				t.Fatalf("got %d results for %d queries", len(results), len(queries))
+			}
+			for i, w := range queries {
+				s, err := d.Suggest(w)
+				res := results[i]
+				if (err != nil) != (res.Err != nil) {
+					t.Fatalf("slot %d: error mismatch %v vs %v", i, err, res.Err)
+				}
+				if err != nil {
+					continue
+				}
+				if s.Distance != res.Suggestion.Distance || s.AlreadyFair != res.Suggestion.AlreadyFair {
+					t.Fatalf("slot %d: %+v vs %+v", i, s, res.Suggestion)
+				}
+				for k := range s.Weights {
+					if s.Weights[k] != res.Suggestion.Weights[k] {
+						t.Fatalf("slot %d: weights %v vs %v", i, s.Weights, res.Suggestion.Weights)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSuggestBatchEmptyAndErrors(t *testing.T) {
+	d, _ := concurrencyFixture(t, Mode2D)
+	if res := d.SuggestBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	res := d.SuggestBatch([][]float64{{0.5, 0.5}, {1, 2, 3}, nil})
+	if res[0].Err != nil {
+		t.Errorf("valid query errored: %v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Error("3-weight query against a 2D designer should error")
+	}
+	if res[2].Err == nil {
+		t.Error("nil query should error")
+	}
+}
+
+// ModeExact answers must be deterministic call over call (the per-call query
+// seed), or concurrent serving would return different answers for identical
+// requests depending on timing.
+func TestExactSuggestDeterministicAcrossCalls(t *testing.T) {
+	ds, err := datagen.Uniform(20, 3, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := MinShare(ds, "group", "protected", 0.25, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesigner(ds, oracle, Config{Mode: ModeExact, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Satisfiable() {
+		t.Skip("unsatisfiable instance")
+	}
+	w := []float64{0.2, 0.3, 0.5}
+	first, err := d.Suggest(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again, err := d.Suggest(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Distance != again.Distance {
+			t.Fatalf("call %d: distance %v, first call %v", rep, again.Distance, first.Distance)
+		}
+		for k := range first.Weights {
+			if first.Weights[k] != again.Weights[k] {
+				t.Fatalf("call %d: weights %v, first call %v", rep, again.Weights, first.Weights)
+			}
+		}
+	}
+}

@@ -1,0 +1,495 @@
+package fairrank
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fairrank/internal/service"
+)
+
+// Server is the query-serving subsystem as a public API: a registry of named
+// designers over named datasets, background index builds with status
+// reporting, single and batch suggest paths, drift-triggered
+// rebuild-and-swap, per-designer metrics, and index persistence to a data
+// directory. cmd/fairrankd wraps it in an http.Server; embedders can mount
+// Handler() wherever they like or drive the typed methods directly.
+//
+// All methods are safe for concurrent use; the suggest path reads the
+// serving index through one atomic load, so queries never wait on builds.
+type Server struct {
+	reg *service.Registry
+
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	specs    map[string]DesignerSpec
+
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer returns an empty server. Call LoadDir to restore persisted state.
+func NewServer() *Server {
+	s := &Server{
+		reg:      service.NewRegistry(),
+		datasets: make(map[string]*Dataset),
+		specs:    make(map[string]DesignerSpec),
+		start:    time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// designerEngine adapts a Designer to the service.Engine interface.
+type designerEngine struct{ d *Designer }
+
+func (e *designerEngine) Suggest(w []float64) (*service.Suggestion, error) {
+	s, err := e.d.Suggest(w)
+	if err != nil {
+		return nil, err
+	}
+	return &service.Suggestion{Weights: s.Weights, Distance: s.Distance, AlreadyFair: s.AlreadyFair}, nil
+}
+
+func (e *designerEngine) SuggestBatch(ws [][]float64) []service.Result {
+	batch := e.d.SuggestBatch(ws)
+	out := make([]service.Result, len(batch))
+	for i, r := range batch {
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
+		}
+		out[i].Suggestion = &service.Suggestion{
+			Weights:     r.Suggestion.Weights,
+			Distance:    r.Suggestion.Distance,
+			AlreadyFair: r.Suggestion.AlreadyFair,
+		}
+	}
+	return out
+}
+
+func (e *designerEngine) ModeName() string { return e.d.Mode().String() }
+
+func (e *designerEngine) SaveIndex(w io.Writer) error { return e.d.SaveIndex(w) }
+
+// validateID accepts the ids used for datasets and designers. Ids become
+// file names in the data directory, so path separators and dot-prefixes are
+// rejected outright.
+func validateID(id string) error {
+	if id == "" {
+		return errors.New("fairrank: empty id")
+	}
+	if len(id) > 128 {
+		return fmt.Errorf("fairrank: id longer than 128 bytes")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("fairrank: id %q contains %q; allowed: letters, digits, '-', '_', '.'", id, c)
+		}
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("fairrank: id %q must not start with a dot", id)
+	}
+	return nil
+}
+
+// AddDataset registers a dataset under an id.
+func (s *Server) AddDataset(id string, ds *Dataset) error {
+	if err := validateID(id); err != nil {
+		return err
+	}
+	if ds == nil {
+		return errors.New("fairrank: nil dataset")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[id]; dup {
+		return fmt.Errorf("fairrank: dataset %q already exists", id)
+	}
+	s.datasets[id] = ds
+	return nil
+}
+
+// Dataset returns a registered dataset.
+func (s *Server) Dataset(id string) (*Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.datasets[id]
+	return ds, ok
+}
+
+// CreateDesigner registers a designer and starts its offline build in the
+// background; watch it through DesignerStatus or WaitReady. An engine
+// loaded from a persisted index (LoadDir) skips the build.
+func (s *Server) CreateDesigner(id string, spec DesignerSpec) error {
+	if err := validateID(id); err != nil {
+		return err
+	}
+	build, err := s.builder(spec)
+	if err != nil {
+		return err
+	}
+	// The registry is the authority on name collisions; an existing
+	// designer's spec must survive a failed duplicate create untouched.
+	s.mu.Lock()
+	old, had := s.specs[id]
+	s.specs[id] = spec
+	s.mu.Unlock()
+	if _, err := s.reg.Create(id, build); err != nil {
+		s.mu.Lock()
+		if had {
+			s.specs[id] = old
+		} else {
+			delete(s.specs, id)
+		}
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// builder resolves a spec into the closure the registry runs for the initial
+// build and every drift-triggered rebuild.
+func (s *Server) builder(spec DesignerSpec) (service.BuildFunc, error) {
+	ds, ok := s.Dataset(spec.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("fairrank: unknown dataset %q", spec.Dataset)
+	}
+	oracle, err := spec.Oracle.Build(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := spec.Config.Build()
+	if err != nil {
+		return nil, err
+	}
+	return func() (service.Engine, error) {
+		d, err := NewDesigner(ds, oracle, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &designerEngine{d: d}, nil
+	}, nil
+}
+
+// WaitReady blocks until the designer's in-flight build (if any) finishes,
+// returning nil once an index is serving.
+func (s *Server) WaitReady(ctx context.Context, id string) error {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		return fmt.Errorf("fairrank: unknown designer %q", id)
+	}
+	return entry.WaitReady(ctx)
+}
+
+// DesignerStatus reports a designer's lifecycle state and metrics.
+func (s *Server) DesignerStatus(id string) (service.StatusInfo, error) {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		return service.StatusInfo{}, fmt.Errorf("fairrank: unknown designer %q", id)
+	}
+	return entry.Status(), nil
+}
+
+// Suggest answers one design query against a designer's serving index.
+func (s *Server) Suggest(id string, w []float64) (*Suggestion, error) {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("fairrank: unknown designer %q", id)
+	}
+	res, err := entry.Suggest(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Suggestion{Weights: res.Weights, Distance: res.Distance, AlreadyFair: res.AlreadyFair}, nil
+}
+
+// SuggestBatch answers many queries in one call; see Designer.SuggestBatch.
+func (s *Server) SuggestBatch(id string, ws [][]float64) ([]BatchResult, error) {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("fairrank: unknown designer %q", id)
+	}
+	batch, err := entry.SuggestBatch(ws)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(batch))
+	for i, r := range batch {
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
+		}
+		out[i].Suggestion = &Suggestion{
+			Weights:     r.Suggestion.Weights,
+			Distance:    r.Suggestion.Distance,
+			AlreadyFair: r.Suggestion.AlreadyFair,
+		}
+	}
+	return out, nil
+}
+
+// RevalidateResult is the outcome of a drift check on a serving designer.
+type RevalidateResult struct {
+	Healthy bool   `json:"healthy"`
+	Detail  string `json:"detail"`
+	// Rebuilding reports that the drift check failed and a background
+	// rebuild-and-swap was started (or was already running).
+	Rebuilding bool `json:"rebuilding"`
+}
+
+// Revalidate spot-checks a designer's serving index against a dataset
+// (default: the one it was built on). When the index no longer holds, a
+// background rebuild starts and the old index keeps serving until the new
+// one swaps in — the paper's §1 design loop as a serving-system operation.
+func (s *Server) Revalidate(id string, datasetID string) (RevalidateResult, error) {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		return RevalidateResult{}, fmt.Errorf("fairrank: unknown designer %q", id)
+	}
+	s.mu.RLock()
+	spec, ok := s.specs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return RevalidateResult{}, fmt.Errorf("fairrank: designer %q has no spec", id)
+	}
+	if datasetID == "" {
+		datasetID = spec.Dataset
+	}
+	against, ok := s.Dataset(datasetID)
+	if !ok {
+		return RevalidateResult{}, fmt.Errorf("fairrank: unknown dataset %q", datasetID)
+	}
+	// When checking against a different dataset (today's data vs the one the
+	// index was built on), a failed check must rebuild over THAT dataset:
+	// repoint the designer's spec and build closure before triggering the
+	// rebuild, so the swap serves the new world, not a fresh copy of the
+	// stale one.
+	repoint := func() error {
+		if datasetID == spec.Dataset {
+			return nil
+		}
+		newSpec := spec
+		newSpec.Dataset = datasetID
+		build, err := s.builder(newSpec)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.specs[id] = newSpec
+		s.mu.Unlock()
+		entry.SetBuild(build)
+		return nil
+	}
+	healthy, detail, err := entry.Revalidate(func(eng service.Engine) (bool, string, error) {
+		de, ok := eng.(*designerEngine)
+		if !ok {
+			return false, "", fmt.Errorf("fairrank: designer %q serves a foreign engine", id)
+		}
+		report, err := de.d.Revalidate(against)
+		if err != nil {
+			return false, "", err
+		}
+		detail := fmt.Sprintf("%d/%d intervals still satisfactory",
+			report.StillSatisfactory, report.Intervals)
+		if !report.Healthy() {
+			if rerr := repoint(); rerr != nil {
+				return false, detail, rerr
+			}
+		}
+		return report.Healthy(), detail, nil
+	})
+	if err != nil {
+		return RevalidateResult{}, err
+	}
+	return RevalidateResult{Healthy: healthy, Detail: detail, Rebuilding: !healthy}, nil
+}
+
+// Rebuild forces a background rebuild-and-swap of a designer's index.
+func (s *Server) Rebuild(id string) error {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		return fmt.Errorf("fairrank: unknown designer %q", id)
+	}
+	return entry.Rebuild()
+}
+
+// DesignerIDs returns the registered designer ids, sorted.
+func (s *Server) DesignerIDs() []string { return s.reg.Names() }
+
+// DatasetIDs returns the registered dataset ids, sorted.
+func (s *Server) DatasetIDs() []string {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.datasets))
+	for id := range s.datasets {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// SaveDir persists the server's state into dir: every dataset as JSON, every
+// designer's spec manifest, and — for designers whose build has finished —
+// the index stream itself, so the next startup serves without re-running the
+// offline phase.
+func (s *Server) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, id := range s.DatasetIDs() {
+		ds, _ := s.Dataset(id)
+		if err := writeJSONFile(filepath.Join(dir, id+".dataset.json"), SpecOfDataset(ds)); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	s.reg.Range(func(entry *service.Entry) bool {
+		id := entry.Name()
+		s.mu.RLock()
+		spec, ok := s.specs[id]
+		s.mu.RUnlock()
+		if !ok {
+			return true
+		}
+		if err := writeJSONFile(filepath.Join(dir, id+".designer.json"), spec); err != nil {
+			firstErr = err
+			return false
+		}
+		eng, err := entry.Engine()
+		if err != nil {
+			return true // still building or failed: manifest alone triggers a rebuild on load
+		}
+		if err := writeFileAtomic(filepath.Join(dir, id+".index"), eng.SaveIndex); err != nil {
+			firstErr = fmt.Errorf("fairrank: saving index of %q: %w", id, err)
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// LoadDir restores SaveDir state: datasets first, then designers — from
+// their index file when present and loadable (serving immediately), falling
+// back to a background rebuild from the manifest otherwise.
+func (s *Server) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		id, ok := strings.CutSuffix(e.Name(), ".dataset.json")
+		if !ok {
+			continue
+		}
+		var spec DatasetSpec
+		if err := readJSONFile(filepath.Join(dir, e.Name()), &spec); err != nil {
+			return err
+		}
+		ds, err := spec.Build()
+		if err != nil {
+			return fmt.Errorf("fairrank: dataset %q: %w", id, err)
+		}
+		if err := s.AddDataset(id, ds); err != nil {
+			return err
+		}
+	}
+	for _, e := range entries {
+		id, ok := strings.CutSuffix(e.Name(), ".designer.json")
+		if !ok {
+			continue
+		}
+		var spec DesignerSpec
+		if err := readJSONFile(filepath.Join(dir, e.Name()), &spec); err != nil {
+			return err
+		}
+		if err := s.loadDesigner(dir, id, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadDesigner restores one designer: from its persisted index when the
+// stream loads cleanly against the dataset (fingerprint checked), otherwise
+// by scheduling a fresh background build.
+func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
+	build, err := s.builder(spec)
+	if err != nil {
+		return fmt.Errorf("fairrank: designer %q: %w", id, err)
+	}
+	s.mu.Lock()
+	s.specs[id] = spec
+	s.mu.Unlock()
+	if f, err := os.Open(filepath.Join(dir, id+".index")); err == nil {
+		ds, _ := s.Dataset(spec.Dataset)
+		oracle, oerr := spec.Oracle.Build(ds)
+		var d *Designer
+		if oerr == nil {
+			d, oerr = LoadDesigner(f, ds, oracle)
+		}
+		f.Close()
+		if oerr == nil {
+			_, rerr := s.reg.CreateReady(id, &designerEngine{d: d}, build)
+			return rerr
+		}
+		// Corrupt or mismatched index: fall through to a rebuild.
+	}
+	_, err = s.reg.Create(id, build)
+	return err
+}
+
+// writeFileAtomic writes through a temp file and renames it into place, so
+// a crash or full disk mid-save never truncates the previous good copy —
+// the next startup can always load something.
+func writeFileAtomic(path string, fill func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+func writeJSONFile(path string, v any) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(v)
+	})
+}
+
+func readJSONFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
