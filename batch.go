@@ -1,10 +1,11 @@
 package fairrank
 
 import (
-	"math"
+	"errors"
 	"runtime"
 	"sync"
 
+	"fairrank/internal/engine"
 	"fairrank/internal/geom"
 )
 
@@ -15,28 +16,38 @@ type BatchResult struct {
 	Err        error
 }
 
+// scratchPool recycles per-worker batch arenas (ranking buffers, polar
+// scratch) across SuggestBatch calls, so steady-state batch traffic costs a
+// constant number of allocations per chunk regardless of engine.
+var scratchPool = sync.Pool{New: func() any { return new(engine.Scratch) }}
+
 // SuggestBatch answers many design queries in one call. Results line up
 // with the queries; each slot holds the same answer (and the same error,
 // e.g. ErrUnsatisfiable) that Suggest would return for that query alone.
 //
 // The batch path amortizes per-call overhead two ways: queries fan out
-// across GOMAXPROCS workers in contiguous chunks, and the Mode2D engine —
-// whose per-query work is a few dozen nanoseconds of binary search —
-// additionally runs an allocation-free kernel that writes all suggestions
-// of a chunk into two arena allocations instead of three per query.
-// Suggest is safe for concurrent use on all engines, which is what makes
-// the fan-out sound.
+// across GOMAXPROCS workers in contiguous chunks, and every engine runs an
+// arena kernel over a pooled per-worker Scratch — the answer vectors and
+// Suggestion structs of a chunk come from two arena allocations, and the
+// ranking/polar scratch is reused across the chunk's queries, instead of a
+// few allocations per query. The kernels are engine-owned (internal/engine);
+// this file only fans out and converts, so it never dispatches on mode.
 func (d *Designer) SuggestBatch(queries [][]float64) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return results
 	}
+	qs := make([]geom.Vector, len(queries))
+	for i, q := range queries {
+		qs[i] = geom.Vector(q)
+	}
+	raw := make([]engine.Result, len(queries))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	if workers <= 1 {
-		d.suggestRange(queries, results, 0, len(queries))
+		d.suggestChunk(raw, qs, results)
 		return results
 	}
 	// Contiguous chunks, one per worker: per-query costs within a batch are
@@ -46,57 +57,43 @@ func (d *Designer) SuggestBatch(queries [][]float64) []BatchResult {
 	for w := 0; w < workers; w++ {
 		lo := w * len(queries) / workers
 		hi := (w + 1) * len(queries) / workers
+		// Unreachable while workers ≤ len(queries) (every chunk then holds
+		// ≥ 1 query); kept as a guard so a future change to the clamp above
+		// cannot start spawning workers over empty ranges.
+		if lo == hi {
+			continue
+		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			d.suggestRange(queries, results, lo, hi)
+			d.suggestChunk(raw[lo:hi], qs[lo:hi], results[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()
 	return results
 }
 
-// suggestRange answers queries[lo:hi] into results[lo:hi].
-func (d *Designer) suggestRange(queries [][]float64, results []BatchResult, lo, hi int) {
-	if d.mode == Mode2D {
-		d.suggestRange2D(queries, results, lo, hi)
-		return
-	}
-	for i := lo; i < hi; i++ {
-		results[i].Suggestion, results[i].Err = d.Suggest(queries[i])
-	}
-}
-
-// suggestRange2D is the Mode2D batch kernel: per query it does the polar
-// conversion and interval search with no allocations, and the Suggestion
-// structs and answer vectors for the whole range come from two arena
-// allocations. Answers are bit-identical to Suggest's (ToPolar2D and
-// QueryAngle are the same arithmetic as the scalar path).
-func (d *Designer) suggestRange2D(queries [][]float64, results []BatchResult, lo, hi int) {
-	arena := make([]Suggestion, hi-lo)
-	weights := make([]float64, 2*(hi-lo))
-	for i := lo; i < hi; i++ {
-		q := queries[i]
-		s := &arena[i-lo]
-		out := weights[2*(i-lo) : 2*(i-lo)+2 : 2*(i-lo)+2]
-		r, theta, err := geom.ToPolar2D(geom.Vector(q))
-		if err != nil {
+// suggestChunk runs the engine kernel over one chunk with a pooled scratch
+// and converts the raw results into the public shape, drawing the Suggestion
+// structs from one arena.
+func (d *Designer) suggestChunk(raw []engine.Result, qs []geom.Vector, results []BatchResult) {
+	s := scratchPool.Get().(*engine.Scratch)
+	d.eng.SuggestBatch(raw, qs, s)
+	scratchPool.Put(s)
+	arena := make([]Suggestion, len(raw))
+	for i, r := range raw {
+		if r.Err != nil {
+			err := r.Err
+			if errors.Is(err, engine.ErrUnsatisfiable) {
+				err = ErrUnsatisfiable
+			}
 			results[i].Err = err
 			continue
 		}
-		bestTheta, dist, err := d.idx2d.QueryAngle(theta)
-		if err != nil {
-			results[i].Err = ErrUnsatisfiable
-			continue
-		}
-		if dist == 0 {
-			out[0], out[1] = q[0], q[1]
-			s.AlreadyFair = true
-		} else {
-			out[0], out[1] = r*math.Cos(bestTheta), r*math.Sin(bestTheta)
-		}
-		s.Weights = out
-		s.Distance = dist
-		results[i].Suggestion = s
+		sug := &arena[i]
+		sug.Weights = r.Weights
+		sug.Distance = r.Distance
+		sug.AlreadyFair = r.Distance == 0
+		results[i].Suggestion = sug
 	}
 }

@@ -1,0 +1,148 @@
+// Batch-kernel benchmarks across all three engines: the per-call Suggest
+// loop vs the amortized SuggestBatch arena kernels. CI runs these with
+// -bench BenchmarkBatch and converts the output to BENCH_batch.json
+// (cmd/benchjson), so the batch speedup of every engine — not just Mode2D —
+// is tracked across PRs. All benchmarks report ns/query for direct
+// comparison.
+package fairrank_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fairrank"
+	"fairrank/internal/datagen"
+)
+
+// batchFixture is one mode's designer plus a mixed fair/unfair query
+// workload. Fixtures are built once per process (the exact engine's offline
+// phase is too slow to rebuild per b.N probe).
+type batchFixture struct {
+	d       *fairrank.Designer
+	queries [][]float64
+}
+
+var (
+	batchFixtures   = map[fairrank.Mode]*batchFixture{}
+	batchFixturesMu sync.Mutex
+)
+
+func batchFixtureFor(b *testing.B, mode fairrank.Mode) *batchFixture {
+	b.Helper()
+	batchFixturesMu.Lock()
+	defer batchFixturesMu.Unlock()
+	if fx, ok := batchFixtures[mode]; ok {
+		if fx == nil {
+			b.Skip("unsatisfiable instance")
+		}
+		return fx
+	}
+	var (
+		n, d int
+		cfg  fairrank.Config
+	)
+	switch mode {
+	case fairrank.Mode2D:
+		n, d = 400, 2
+		cfg = fairrank.Config{Mode: mode, Workers: -1}
+	case fairrank.ModeExact:
+		n, d = 300, 2
+		cfg = fairrank.Config{Mode: mode, MaxHyperplanes: 400, Workers: -1}
+	case fairrank.ModeApprox:
+		n, d = 250, 3
+		cfg = fairrank.Config{Mode: mode, Cells: 800, MaxHyperplanes: 1500, Workers: -1}
+	}
+	ds, err := datagen.Biased(n, d, 0.5, 0.3, 1, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle, err := fairrank.MinShare(ds, "group", "protected", 0.2, 0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	designer, err := fairrank.NewDesigner(ds, oracle, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !designer.Satisfiable() {
+		batchFixtures[mode] = nil
+		b.Skip("unsatisfiable instance")
+	}
+	r := rand.New(rand.NewSource(23))
+	randomQuery := func() []float64 {
+		w := make([]float64, d)
+		var norm float64
+		for j := range w {
+			w[j] = r.Float64() + 1e-3
+			norm += w[j] * w[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range w {
+			w[j] /= norm
+		}
+		return w
+	}
+	queries := make([][]float64, 0, 512)
+	if mode == fairrank.ModeExact {
+		// Fair-only workload for the exact engine: its batch kernel differs
+		// from the scalar path only in the fairness check (shared partial-
+		// order buffers vs a fresh full sort per call); unfair queries fall
+		// through to the same per-region NLP solves either way, whose
+		// millisecond-scale variance would drown the signal.
+		for tries := 0; len(queries) < 512 && tries < 100000; tries++ {
+			w := randomQuery()
+			if fair, err := designer.IsFair(w); err == nil && fair {
+				queries = append(queries, w)
+			}
+		}
+		if len(queries) == 0 {
+			batchFixtures[mode] = nil
+			b.Skip("no fair queries found")
+		}
+		for i := 0; len(queries) < 512; i++ {
+			queries = append(queries, queries[i])
+		}
+	} else {
+		for len(queries) < 512 {
+			queries = append(queries, randomQuery())
+		}
+	}
+	fx := &batchFixture{d: designer, queries: queries}
+	batchFixtures[mode] = fx
+	return fx
+}
+
+func benchSuggestLoop(b *testing.B, mode fairrank.Mode) {
+	fx := batchFixtureFor(b, mode)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.d.Suggest(fx.queries[i%len(fx.queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/query")
+}
+
+func benchSuggestBatch(b *testing.B, mode fairrank.Mode) {
+	fx := batchFixtureFor(b, mode)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range fx.d.SuggestBatch(fx.queries) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(fx.queries)), "ns/query")
+}
+
+func BenchmarkBatch2DSuggest(b *testing.B)          { benchSuggestLoop(b, fairrank.Mode2D) }
+func BenchmarkBatch2DSuggestBatch(b *testing.B)     { benchSuggestBatch(b, fairrank.Mode2D) }
+func BenchmarkBatchExactSuggest(b *testing.B)       { benchSuggestLoop(b, fairrank.ModeExact) }
+func BenchmarkBatchExactSuggestBatch(b *testing.B)  { benchSuggestBatch(b, fairrank.ModeExact) }
+func BenchmarkBatchApproxSuggest(b *testing.B)      { benchSuggestLoop(b, fairrank.ModeApprox) }
+func BenchmarkBatchApproxSuggestBatch(b *testing.B) { benchSuggestBatch(b, fairrank.ModeApprox) }

@@ -1,13 +1,16 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document, so CI can archive benchmark series (e.g. BENCH_serve.json with
-// the Suggest vs SuggestBatch ns/query trajectory) without external tooling.
+// the Suggest vs SuggestBatch ns/query trajectory, or BENCH_batch.json with
+// the per-engine batch kernels) without external tooling.
 //
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkServe . | go run ./cmd/benchjson -o BENCH_serve.json
+//	go test -run '^$' -bench . . | go run ./cmd/benchjson -filter '^BenchmarkBatch' -o BENCH_batch.json
 //
 // Unparseable lines are ignored, so the raw `go test` stream can be piped in
-// unfiltered.
+// unfiltered; -filter keeps only benchmarks whose name matches the regexp,
+// so one bench run can feed several archives.
 package main
 
 import (
@@ -15,8 +18,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -57,19 +62,34 @@ func parseLine(line string) (result, bool) {
 	return r, len(r.Metrics) > 0
 }
 
-func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
-
+// collect parses a `go test -bench` stream, keeping the benchmarks whose
+// name matches keep (nil keeps everything).
+func collect(in io.Reader, keep *regexp.Regexp) ([]result, error) {
 	var results []result
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
+		if r, ok := parseLine(sc.Text()); ok && (keep == nil || keep.MatchString(r.Name)) {
 			results = append(results, r)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return results, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	filter := flag.String("filter", "", "keep only benchmarks whose name matches this regexp")
+	flag.Parse()
+
+	var keep *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if keep, err = regexp.Compile(*filter); err != nil {
+			log.Fatalf("bad -filter: %v", err)
+		}
+	}
+	results, err := collect(os.Stdin, keep)
+	if err != nil {
 		log.Fatal(err)
 	}
 	doc, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")

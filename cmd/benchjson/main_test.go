@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkServeSuggest-8   \t11325680\t       107.1 ns/op\t       107.1 ns/query")
@@ -30,5 +34,29 @@ func TestParseLine(t *testing.T) {
 	// A no-suffix serial run parses too.
 	if r, ok := parseLine("BenchmarkServeSuggestBatch \t35266\t34829 ns/op\t68.03 ns/query"); !ok || r.Name != "BenchmarkServeSuggestBatch" {
 		t.Errorf("serial line: ok=%v r=%+v", ok, r)
+	}
+}
+
+func TestCollectFilter(t *testing.T) {
+	stream := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkBatch2DSuggest-8 \t100\t107.1 ns/op\t107.1 ns/query",
+		"BenchmarkServeSuggest-8 \t100\t107.1 ns/op\t107.1 ns/query",
+		"BenchmarkBatchExactSuggestBatch \t10\t2868775 ns/op\t2868775 ns/query",
+		"PASS",
+	}, "\n")
+	all, err := collect(strings.NewReader(stream), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("unfiltered results = %d, want 3", len(all))
+	}
+	batch, err := collect(strings.NewReader(stream), regexp.MustCompile("^BenchmarkBatch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[0].Name != "BenchmarkBatch2DSuggest" || batch[1].Name != "BenchmarkBatchExactSuggestBatch" {
+		t.Fatalf("filtered results = %+v", batch)
 	}
 }

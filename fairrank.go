@@ -40,13 +40,11 @@ import (
 	"fmt"
 	"io"
 
-	"fairrank/internal/cells"
-	"fairrank/internal/core"
 	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
 	"fairrank/internal/fairness"
 	"fairrank/internal/geom"
 	"fairrank/internal/ranking"
-	"fairrank/internal/twod"
 )
 
 // Dataset is a collection of items with numeric scoring attributes and
@@ -184,10 +182,13 @@ type Config struct {
 // satisfies the oracle anywhere in the weight space.
 var ErrUnsatisfiable = errors.New("fairrank: no satisfactory ranking function exists")
 
-// ErrUnsupportedMode is returned by Designer methods that are only
-// implemented for some engine modes (currently Revalidate, which needs the
-// interval structure of Mode2D). The wrapping error message names the
-// designer's mode.
+// ErrUnsupportedMode was returned by Designer methods that were only
+// implemented for some engine modes. Every engine now implements the full
+// interface (Suggest, SuggestBatch, Revalidate, SaveIndex), so no method
+// returns it anymore; the variable remains so existing errors.Is checks
+// keep compiling.
+//
+// Deprecated: no fairrank API returns this error.
 var ErrUnsupportedMode = errors.New("fairrank: operation not supported by this engine mode")
 
 // Suggestion is the answer to a design query.
@@ -204,16 +205,15 @@ type Suggestion struct {
 }
 
 // Designer is the query-answering system: built once offline over a dataset
-// and an oracle, then queried interactively.
+// and an oracle, then queried interactively. All query paths delegate to one
+// engine.Engine (see internal/engine), so every capability — Suggest, batch
+// kernels, Revalidate, persistence — is uniform across the three modes.
 type Designer struct {
 	ds     *Dataset
 	oracle Oracle
 	mode   Mode
 	refine bool
-
-	idx2d  *twod.Index
-	exact  *core.MDIndex
-	approx *cells.Approx
+	eng    engine.Engine
 }
 
 // NewDesigner preprocesses the dataset for the given oracle. This is the
@@ -234,75 +234,18 @@ func NewDesigner(ds *Dataset, oracle Oracle, cfg Config) (*Designer, error) {
 			mode = ModeApprox
 		}
 	}
-	d := &Designer{ds: ds, oracle: oracle, mode: mode, refine: cfg.RefineQueries}
-	switch mode {
-	case Mode2D:
-		if ds.D() != 2 {
-			return nil, fmt.Errorf("fairrank: Mode2D requires 2 scoring attributes, dataset has %d", ds.D())
-		}
-		idx, err := twod.RaySweep(ds, oracle, twod.Options{Workers: cfg.Workers})
-		if err != nil {
-			return nil, err
-		}
-		d.idx2d = idx
-	case ModeExact:
-		idx, err := core.SatRegions(ds, oracle, core.Options{
-			UseTree:        !cfg.DisableArrangementTree,
-			MaxHyperplanes: cfg.MaxHyperplanes,
-			Seed:           cfg.Seed,
-			PruneTopK:      cfg.PruneTopK,
-			Workers:        cfg.Workers,
-			// Adjacency-ordered incremental labeling is exact in 2D, where
-			// angle-space hyperplanes coincide with the exchange angles.
-			IncrementalLabeling: ds.D() == 2,
-		})
-		if err != nil {
-			return nil, err
-		}
-		d.exact = idx
-	case ModeApprox:
-		n := cfg.Cells
-		if n <= 0 {
-			n = 10000
-		}
-		cap := cfg.CellRegionCap
-		switch {
-		case cap == 0:
-			cap = 512
-		case cap < 0:
-			cap = 0 // unlimited
-		}
-		idx, err := cells.Preprocess(ds, oracle, n, cells.Options{
-			Seed:              cfg.Seed,
-			PruneTopK:         cfg.PruneTopK,
-			MaxHyperplanes:    cfg.MaxHyperplanes,
-			MaxRegionsPerCell: cap,
-			Workers:           cfg.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		d.approx = idx
-	default:
-		return nil, fmt.Errorf("fairrank: unknown mode %v", mode)
+	eng, err := buildEngine(mode, ds, oracle, cfg)
+	if err != nil {
+		return nil, err
 	}
-	return d, nil
+	return &Designer{ds: ds, oracle: oracle, mode: mode, refine: cfg.RefineQueries, eng: eng}, nil
 }
 
 // Mode returns the engine the designer is using.
 func (d *Designer) Mode() Mode { return d.mode }
 
 // Satisfiable reports whether any satisfactory ranking function exists.
-func (d *Designer) Satisfiable() bool {
-	switch d.mode {
-	case Mode2D:
-		return d.idx2d.Satisfiable()
-	case ModeExact:
-		return d.exact.Satisfiable()
-	default:
-		return d.approx.Satisfiable()
-	}
-}
+func (d *Designer) Satisfiable() bool { return d.eng.Satisfiable() }
 
 // IsFair evaluates the oracle directly on the ordering induced by w.
 func (d *Designer) IsFair(w []float64) (bool, error) {
@@ -322,60 +265,31 @@ func (d *Designer) Rank(w []float64) ([]int, error) {
 // already fair, the closest satisfactory alternative otherwise, or
 // ErrUnsatisfiable when no fair linear function exists at all.
 func (d *Designer) Suggest(w []float64) (*Suggestion, error) {
-	wv := geom.Vector(w)
-	var (
-		out  geom.Vector
-		dist float64
-		err  error
-	)
-	switch d.mode {
-	case Mode2D:
-		out, dist, err = d.idx2d.Query(wv)
-		if errors.Is(err, twod.ErrUnsatisfiable) {
-			err = ErrUnsatisfiable
-		}
-	case ModeExact:
-		out, dist, err = d.exact.Baseline(wv)
-		if errors.Is(err, core.ErrUnsatisfiable) {
-			err = ErrUnsatisfiable
-		}
-	default:
-		if d.refine {
-			out, dist, err = d.approx.QueryRefined(wv)
-		} else {
-			out, dist, err = d.approx.Query(wv)
-		}
-		if errors.Is(err, cells.ErrUnsatisfiable) {
-			err = ErrUnsatisfiable
-		}
-	}
+	out, dist, err := d.eng.Suggest(geom.Vector(w))
 	if err != nil {
+		if errors.Is(err, engine.ErrUnsatisfiable) {
+			err = ErrUnsatisfiable
+		}
 		return nil, err
 	}
 	return &Suggestion{Weights: out, Distance: dist, AlreadyFair: dist == 0}, nil
 }
 
-// QualityBound returns the additive approximation bound of Theorem 6 for
-// ModeApprox designers, and 0 for the exact engines.
-func (d *Designer) QualityBound() float64 {
-	if d.mode == ModeApprox {
-		return d.approx.Theorem6Bound()
-	}
-	return 0
-}
+// QualityBound returns the engine's additive approximation bound on Suggest
+// distances: Theorem 6 for ModeApprox designers, 0 for the exact engines.
+func (d *Designer) QualityBound() float64 { return d.eng.QualityBound() }
 
-// DriftReport summarizes a Revalidate pass; see twod.DriftReport.
-type DriftReport = twod.DriftReport
+// DriftReport summarizes a Revalidate pass; see engine.DriftReport.
+type DriftReport = engine.DriftReport
 
-// Revalidate spot-checks a Mode2D designer's satisfactory intervals against
-// a possibly-updated dataset (the §1 design loop: reuse the scheme while
-// the data distribution holds, verify periodically, rebuild on drift).
-// It returns ErrUnsupportedMode for the other engines.
+// Revalidate spot-checks the designer's index against a possibly-updated
+// dataset (the §1 design loop: reuse the scheme while the data distribution
+// holds, verify periodically, rebuild on drift). Every engine implements it
+// over its own stored witnesses: Mode2D probes interval midpoints, ModeExact
+// probes region witnesses, and ModeApprox re-probes a sample of the marked
+// grid cells at their stored functions.
 func (d *Designer) Revalidate(ds *Dataset) (DriftReport, error) {
-	if d.mode != Mode2D {
-		return DriftReport{}, fmt.Errorf("%w: Revalidate requires Mode2D, designer uses %v", ErrUnsupportedMode, d.mode)
-	}
-	return d.idx2d.Revalidate(ds, d.oracle)
+	return d.eng.Revalidate(ds, d.oracle)
 }
 
 // AngularDistance returns the angular distance (radians) between two weight

@@ -315,14 +315,18 @@ func TestRevalidatePublic(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = report2 // drift may or may not break every interval; just exercising
-	// Non-2D designers refuse.
+	// Non-2D designers revalidate too (the drift loop covers every engine).
 	ds3, _ := datagen.Uniform(10, 3, 0.5, 5)
 	d3, err := NewDesigner(ds3, OracleFunc(func([]int) bool { return true }), Config{Cells: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d3.Revalidate(ds3); err == nil {
-		t.Error("expected mode error for approx designer")
+	report3, err := d3.Revalidate(ds3)
+	if err != nil {
+		t.Fatalf("approx designer must revalidate: %v", err)
+	}
+	if !report3.Healthy() || report3.Probes == 0 {
+		t.Errorf("unchanged data should revalidate cleanly with probes: %+v", report3)
 	}
 }
 

@@ -71,15 +71,20 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// errorStatus maps serving errors onto HTTP status codes.
+// errorStatus maps serving errors onto HTTP status codes. Revalidate used to
+// map ErrUnsupportedMode to 409 for non-2D designers; every engine now
+// implements the drift check, so that path is gone and
+// POST /v1/designers/{id}/revalidate succeeds for all three modes.
 func errorStatus(err error) int {
 	switch {
+	case errors.Is(err, ErrUnknownID):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicateID), errors.Is(err, service.ErrDuplicateName):
+		return http.StatusConflict
 	case errors.Is(err, service.ErrNotReady):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnsatisfiable):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrUnsupportedMode):
-		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}
@@ -108,7 +113,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.AddDataset(req.ID, ds); err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeError(w, errorStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"id": req.ID, "n": ds.N(), "d": ds.D()})
@@ -127,7 +132,7 @@ func (s *Server) handleCreateDesigner(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.CreateDesigner(req.ID, req.Spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errorStatus(err), err)
 		return
 	}
 	// ?wait=true blocks until the offline build finishes — convenient for

@@ -167,15 +167,11 @@ func (a *Approx) Query(w geom.Vector) (geom.Vector, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	cell := a.Grid.Locate(q)
-	if cell == nil || cell.F == nil {
+	bestF, dist := a.bestStored(q, false, nil, geom.AngleDistance)
+	if bestF == nil {
 		return nil, 0, ErrUnsatisfiable
 	}
-	dist, err := geom.AngleDistance(q, cell.F)
-	if err != nil {
-		return nil, 0, err
-	}
-	return cell.F.ToCartesian(r), dist, nil
+	return bestF.ToCartesian(r), dist, nil
 }
 
 // QueryRefined is Query plus a cheap neighbor refinement: besides the
@@ -199,29 +195,43 @@ func (a *Approx) QueryRefined(w geom.Vector) (geom.Vector, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	bestF, best := a.bestStored(q, true, q.Clone(), geom.AngleDistance)
+	if bestF == nil {
+		return nil, 0, ErrUnsatisfiable
+	}
+	return bestF.ToCartesian(r), best, nil
+}
+
+// bestStored is the one copy of the cell-probe policy shared by the scalar
+// and batch query paths: the closest stored function among the located
+// cell's and — when refine is set — those of the 2(d−1) axis-adjacent
+// cells. probe must be a scratch angle buffer of q's length when refine is
+// set (unused otherwise); dist supplies the angular distance so callers can
+// choose the allocating or the scratch-buffered implementation. Returns
+// (nil, +Inf) when no considered cell holds a function.
+func (a *Approx) bestStored(q geom.Angles, refine bool, probe geom.Angles, dist func(a, b geom.Angles) (float64, error)) (geom.Angles, float64) {
 	best := math.Inf(1)
 	var bestF geom.Angles
 	consider := func(c *Cell) {
 		if c == nil || c.F == nil {
 			return
 		}
-		if d, err := geom.AngleDistance(q, c.F); err == nil && d < best {
+		if d, err := dist(q, c.F); err == nil && d < best {
 			best, bestF = d, c.F
 		}
 	}
 	consider(a.Grid.Locate(q))
-	probe := q.Clone()
-	for k := 0; k < a.DS.D()-1; k++ {
-		for _, delta := range [2]float64{-a.Grid.Gamma, a.Grid.Gamma} {
-			probe[k] = q[k] + delta
-			consider(a.Grid.Locate(probe))
+	if refine {
+		copy(probe, q)
+		for k := 0; k < a.DS.D()-1; k++ {
+			for _, delta := range [2]float64{-a.Grid.Gamma, a.Grid.Gamma} {
+				probe[k] = q[k] + delta
+				consider(a.Grid.Locate(probe))
+			}
+			probe[k] = q[k]
 		}
-		probe[k] = q[k]
 	}
-	if bestF == nil {
-		return nil, 0, ErrUnsatisfiable
-	}
-	return bestF.ToCartesian(r), best, nil
+	return bestF, best
 }
 
 // Theorem6Bound returns the additive approximation bound of Theorem 6 for

@@ -157,6 +157,13 @@ func (idx *MDIndex) Baseline(w geom.Vector) (geom.Vector, float64, error) {
 	if idx.Oracle.Check(order) {
 		return w.Clone(), 0, nil
 	}
+	return idx.closest(w)
+}
+
+// closest is Baseline's unfair-query path: the per-region NLP solves and the
+// global minimum. The batch kernel calls it directly after its own (scratch-
+// buffered) fairness check, so both paths return identical answers.
+func (idx *MDIndex) closest(w geom.Vector) (geom.Vector, float64, error) {
 	if !idx.Satisfiable() {
 		return nil, 0, ErrUnsatisfiable
 	}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+	"fairrank/internal/ranking"
+)
+
+// Scratch is the per-worker arena a SuggestBatch kernel reuses across the
+// queries of a chunk: one ranking buffer (scores + order), one polar-angle
+// buffer, and two cartesian probe vectors. The batch layer keeps Scratches
+// in a pool, so steady-state batch traffic allocates only the per-chunk
+// answer arenas. A Scratch must not be shared between concurrent kernels.
+type Scratch struct {
+	rank   ranking.Buffers
+	angles geom.Angles
+	probe  geom.Angles
+	va, vb geom.Vector
+}
+
+// OrderFor ranks ds under w into the scratch buffers: the O(n + k log k)
+// partial ordering when the oracle's inspection depth k is known, the full
+// sort otherwise. The returned slice aliases the scratch and is valid until
+// the next call.
+func (s *Scratch) OrderFor(ds *dataset.Dataset, w geom.Vector, depth int) ([]int, error) {
+	if depth > 0 {
+		return s.rank.PartialOrder(ds, w, depth)
+	}
+	return s.rank.Order(ds, w)
+}
+
+// CheckFair evaluates the oracle on the ordering w induces, ranking through
+// the scratch buffers. depth is fairness.InspectionDepth(oracle), hoisted by
+// the caller so a chunk pays the type assertions once.
+func (s *Scratch) CheckFair(ds *dataset.Dataset, oracle fairness.Oracle, w geom.Vector, depth int) (bool, error) {
+	order, err := s.OrderFor(ds, w, depth)
+	if err != nil {
+		return false, err
+	}
+	return oracle.Check(order), nil
+}
+
+// Angles returns the reusable m-angle polar buffer.
+func (s *Scratch) Angles(m int) geom.Angles {
+	if cap(s.angles) < m {
+		s.angles = make(geom.Angles, m)
+	}
+	return s.angles[:m]
+}
+
+// Probe returns a second reusable m-angle buffer, for kernels that perturb a
+// located angle (the refined grid query) without clobbering the original.
+func (s *Scratch) Probe(m int) geom.Angles {
+	if cap(s.probe) < m {
+		s.probe = make(geom.Angles, m)
+	}
+	return s.probe[:m]
+}
+
+// Vectors returns two reusable d-vectors, for allocation-free angular
+// distances (convert both rays into the scratch vectors, then RayDistance).
+func (s *Scratch) Vectors(d int) (geom.Vector, geom.Vector) {
+	if cap(s.va) < d {
+		s.va = make(geom.Vector, d)
+		s.vb = make(geom.Vector, d)
+	}
+	return s.va[:d], s.vb[:d]
+}
+
+// AngleDistance is geom.AngleDistance through the scratch vectors: the
+// identical arithmetic and errors (both delegate to geom.AngleDistanceInto)
+// with zero allocations.
+func (s *Scratch) AngleDistance(a, b geom.Angles) (float64, error) {
+	va, vb := s.Vectors(a.Dim())
+	return geom.AngleDistanceInto(a, b, va, vb)
+}

@@ -42,17 +42,24 @@ func (a Angles) InRange() bool {
 // ToCartesian converts the angles to the Cartesian unit vector on the ray,
 // scaled by r (paper's ToCartesian(r, Θ)).
 func (a Angles) ToCartesian(r float64) Vector {
+	return a.ToCartesianInto(r, NewVector(a.Dim()))
+}
+
+// ToCartesianInto is ToCartesian into a caller-provided vector of dimension
+// Dim() — the same arithmetic operation for operation, so results are
+// bit-identical; batch kernels rely on that to answer exactly like the
+// allocating path. It returns dst.
+func (a Angles) ToCartesianInto(r float64, dst Vector) Vector {
 	d := a.Dim()
-	v := NewVector(d)
 	// Running product of cosines from the tail: prod_k = Π_{l>k-?}...
 	// Compute x_k = sin Θ_k · Π_{l=k+1..d-1} cos Θ_l with Θ_0 = π/2.
 	prod := 1.0
 	for k := d - 1; k >= 1; k-- {
-		v[k] = r * math.Sin(a[k-1]) * prod
+		dst[k] = r * math.Sin(a[k-1]) * prod
 		prod *= math.Cos(a[k-1])
 	}
-	v[0] = r * prod // sin(π/2) = 1
-	return v
+	dst[0] = r * prod // sin(π/2) = 1
+	return dst
 }
 
 // ToPolar converts a weight vector in the non-negative orthant to its polar
@@ -63,6 +70,19 @@ func ToPolar(w Vector) (r float64, a Angles, err error) {
 	if len(w) < 2 {
 		return 0, nil, fmt.Errorf("geom: ToPolar needs dimension ≥ 2, got %d", len(w))
 	}
+	return ToPolarInto(w, make(Angles, len(w)-1))
+}
+
+// ToPolarInto is ToPolar into a caller-provided angle buffer of length
+// len(w)−1, with identical arithmetic (and therefore bit-identical results)
+// and identical validation.
+func ToPolarInto(w Vector, a Angles) (r float64, _ Angles, err error) {
+	if len(w) < 2 {
+		return 0, nil, fmt.Errorf("geom: ToPolar needs dimension ≥ 2, got %d", len(w))
+	}
+	if len(a) != len(w)-1 {
+		return 0, nil, fmt.Errorf("geom: ToPolarInto buffer has %d angles, want %d", len(a), len(w)-1)
+	}
 	if !w.IsNonNegative() {
 		return 0, nil, fmt.Errorf("geom: ToPolar requires a non-negative vector, got %v", w)
 	}
@@ -71,7 +91,6 @@ func ToPolar(w Vector) (r float64, a Angles, err error) {
 		return 0, nil, fmt.Errorf("geom: ToPolar undefined for zero vector")
 	}
 	d := len(w)
-	a = make(Angles, d-1)
 	// θ_k = atan2(x_k, sqrt(Σ_{j<k} x_j²)), inverse of Eq. 8.
 	for k := d - 1; k >= 1; k-- {
 		var below float64
@@ -110,7 +129,18 @@ func AngleDistance(a, b Angles) (float64, error) {
 	if len(a) != len(b) {
 		return 0, fmt.Errorf("geom: angle distance of mismatched dimensions %d and %d", len(a), len(b))
 	}
-	return RayDistance(a.ToCartesian(1), b.ToCartesian(1))
+	return AngleDistanceInto(a, b, NewVector(a.Dim()), NewVector(a.Dim()))
+}
+
+// AngleDistanceInto is AngleDistance through caller-provided scratch vectors
+// of dimension Dim() — one copy of the arithmetic (and of the mismatch
+// error) for both the allocating and the buffer-reusing paths, so they can
+// never silently diverge.
+func AngleDistanceInto(a, b Angles, va, vb Vector) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("geom: angle distance of mismatched dimensions %d and %d", len(a), len(b))
+	}
+	return RayDistance(a.ToCartesianInto(1, va), b.ToCartesianInto(1, vb))
 }
 
 // AngleDistanceEq10 evaluates the paper's Eq. 10 literally:

@@ -15,22 +15,33 @@ import (
 // of the O(n log n) full sort — the fast path for fairness oracles that
 // inspect only a top-k prefix.
 func PartialOrder(ds *dataset.Dataset, w geom.Vector, k int) ([]int, error) {
-	n := ds.N()
-	if k >= n {
-		return Order(ds, w)
+	// A throwaway buffer: the result aliases it, which is fine since nothing
+	// else ever sees it.
+	return new(Buffers).PartialOrder(ds, w, k)
+}
+
+// PartialOrder is ranking.PartialOrder into the reusable buffers — the
+// per-query ranking step of the batch kernels, which would otherwise
+// allocate an order and a score slice per query. The returned slice aliases
+// the buffer and is valid until the next call.
+func (b *Buffers) PartialOrder(ds *dataset.Dataset, w geom.Vector, k int) ([]int, error) {
+	if k >= ds.N() {
+		return b.Order(ds, w)
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("ranking: PartialOrder needs k ≥ 1, got %d", k)
 	}
-	s, err := Scores(ds, w)
+	s, order, err := b.fill(ds, w)
 	if err != nil {
 		return nil, err
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	// better reports whether item a strictly precedes item b.
+	partialSort(order, s, k)
+	return order, nil
+}
+
+// partialSort places the k best items (score descending, ties by ascending
+// index), exactly sorted, at the front of order.
+func partialSort(order []int, s []float64, k int) {
 	better := func(a, b int) bool {
 		if s[a] != s[b] {
 			return s[a] > s[b]
@@ -39,7 +50,6 @@ func PartialOrder(ds *dataset.Dataset, w geom.Vector, k int) ([]int, error) {
 	}
 	quickselect(order, k, better)
 	sort.Slice(order[:k], func(i, j int) bool { return better(order[i], order[j]) })
-	return order, nil
 }
 
 // quickselect partitions order so that the k best items (per better) occupy

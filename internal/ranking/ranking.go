@@ -62,11 +62,12 @@ type Buffers struct {
 	order  []int
 }
 
-// Order is ranking.Order into the reusable buffers. The returned slice
-// aliases the buffer and is valid until the next call.
-func (b *Buffers) Order(ds *dataset.Dataset, w geom.Vector) ([]int, error) {
+// fill computes scores and the identity permutation into the reusable
+// buffers — the shared front half of Order and PartialOrder. The returned
+// slices alias the buffers and are valid until the next call.
+func (b *Buffers) fill(ds *dataset.Dataset, w geom.Vector) ([]float64, []int, error) {
 	if len(w) != ds.D() {
-		return nil, fmt.Errorf("ranking: weight dimension %d, dataset has %d attributes", len(w), ds.D())
+		return nil, nil, fmt.Errorf("ranking: weight dimension %d, dataset has %d attributes", len(w), ds.D())
 	}
 	n := ds.N()
 	if cap(b.scores) < n {
@@ -78,6 +79,16 @@ func (b *Buffers) Order(ds *dataset.Dataset, w geom.Vector) ([]int, error) {
 	for i := 0; i < n; i++ {
 		s[i] = w.Dot(ds.Item(i))
 		order[i] = i
+	}
+	return s, order, nil
+}
+
+// Order is ranking.Order into the reusable buffers. The returned slice
+// aliases the buffer and is valid until the next call.
+func (b *Buffers) Order(ds *dataset.Dataset, w geom.Vector) ([]int, error) {
+	s, order, err := b.fill(ds, w)
+	if err != nil {
+		return nil, err
 	}
 	sortByScore(order, s)
 	return order, nil

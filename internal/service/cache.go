@@ -1,0 +1,110 @@
+package service
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// The fairrankd cache tier: design loops replay the same handful of weight
+// vectors over and over (propose, see the suggestion, nudge a weight,
+// propose again), so Entry.Suggest memoizes answers per engine generation.
+//
+// The key is the query's unit direction, not its raw coordinates: every
+// engine's answer scales linearly with the query's magnitude (the suggestion
+// preserves ‖w‖, the distance is angular and magnitude-free, and the fair/
+// unfair verdict depends only on the induced ordering, which is scale-
+// invariant), so one cached answer soundly serves every magnitude of the
+// same ray. Directions are matched on their exact bit patterns — nearby
+// directions are deliberately NOT bucketed together, because a bucket
+// straddling a satisfactory-region boundary would serve the wrong binary
+// verdict (a fair query's cached answer handed to an unfair neighbor).
+// Exact-ray matching keeps every hit provably identical to a fresh call:
+// byte-identical for repeats of the same vector, linearly rescaled for
+// scaled repeats whose normalization is floating-point exact (powers of
+// two; other scalings usually produce a different bit pattern and safely
+// miss).
+//
+// Each engine swap (initial build, drift-triggered rebuild) atomically
+// replaces the cache with an empty one, so a cached answer can never outlive
+// the index generation that produced it.
+
+// cacheMaxEntries bounds one generation's cache. When full, new answers are
+// simply not inserted: design-loop traffic repeats its early queries, so
+// first-come retention keeps the hot set without eviction bookkeeping.
+const cacheMaxEntries = 1 << 14
+
+// cachedAnswer is one memoized Suggest answer, stored verbatim together
+// with the query magnitude it was computed at.
+type cachedAnswer struct {
+	// weights is the engine's answer as returned (magnitude = norm); nil
+	// when the query itself was already fair (the answer is the query).
+	weights     []float64
+	norm        float64
+	distance    float64
+	alreadyFair bool
+}
+
+// suggestCache is one generation's memo table.
+type suggestCache struct {
+	mu sync.RWMutex
+	m  map[string]cachedAnswer
+}
+
+func newSuggestCache() *suggestCache {
+	return &suggestCache{m: make(map[string]cachedAnswer)}
+}
+
+// cacheKey maps w to the bit pattern of its unit direction and returns ‖w‖.
+// ok is false for queries that cannot be cached (zero or non-finite norm);
+// those go straight to the engine, which owns the error.
+func cacheKey(w []float64) (key string, norm float64, ok bool) {
+	var norm2 float64
+	for _, c := range w {
+		norm2 += c * c
+	}
+	norm = math.Sqrt(norm2)
+	if len(w) == 0 || norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return "", 0, false
+	}
+	buf := make([]byte, 8*len(w))
+	for i, c := range w {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(c/norm))
+	}
+	return string(buf), norm, true
+}
+
+func (c *suggestCache) get(key string) (cachedAnswer, bool) {
+	c.mu.RLock()
+	a, ok := c.m[key]
+	c.mu.RUnlock()
+	return a, ok
+}
+
+func (c *suggestCache) put(key string, a cachedAnswer) {
+	c.mu.Lock()
+	if len(c.m) < cacheMaxEntries {
+		c.m[key] = a
+	}
+	c.mu.Unlock()
+}
+
+// materialize returns the cached answer at the query's magnitude: the stored
+// weights verbatim when the magnitudes match (the exact-repeat hot case,
+// byte-identical to the engine's answer), linearly rescaled otherwise.
+func (a cachedAnswer) materialize(w []float64, norm float64) *Suggestion {
+	s := &Suggestion{Distance: a.distance, AlreadyFair: a.alreadyFair}
+	if a.alreadyFair {
+		s.Weights = append([]float64(nil), w...)
+		return s
+	}
+	out := append([]float64(nil), a.weights...)
+	if norm != a.norm {
+		scale := norm / a.norm
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	s.Weights = out
+	return s
+}

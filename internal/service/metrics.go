@@ -31,10 +31,18 @@ type Metrics struct {
 	batches      atomic.Int64 // SuggestBatch calls served
 	batchQueries atomic.Int64 // queries served through batches
 	errors       atomic.Int64 // queries that returned an error
+	cacheHits    atomic.Int64 // Suggest calls answered from the memo cache
+	cacheMisses  atomic.Int64 // cacheable Suggest calls that went to the engine
 	latencySum   atomic.Int64 // nanoseconds, per-query (batch time amortized)
 	latencyCount atomic.Int64
 	buckets      [len(bucketBounds) + 1]atomic.Int64
 }
+
+// recordCacheHit counts one Suggest answered from the memo cache.
+func (m *Metrics) recordCacheHit() { m.cacheHits.Add(1) }
+
+// recordCacheMiss counts one cacheable Suggest that had to ask the engine.
+func (m *Metrics) recordCacheMiss() { m.cacheMisses.Add(1) }
 
 // recordQueries records n single-query observations of the given total
 // duration.
@@ -82,6 +90,8 @@ type MetricsSnapshot struct {
 	Batches        int64    `json:"batches"`
 	BatchQueries   int64    `json:"batch_queries"`
 	Errors         int64    `json:"errors"`
+	CacheHits      int64    `json:"cache_hits"`
+	CacheMisses    int64    `json:"cache_misses"`
 	LatencyMeanNs  int64    `json:"latency_mean_ns"`
 	LatencyBuckets []Bucket `json:"latency_buckets"`
 }
@@ -94,6 +104,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Batches:      m.batches.Load(),
 		BatchQueries: m.batchQueries.Load(),
 		Errors:       m.errors.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
 	}
 	if count := m.latencyCount.Load(); count > 0 {
 		s.LatencyMeanNs = m.latencySum.Load() / count

@@ -71,6 +71,10 @@ var ErrNotReady = errors.New("service: designer index not ready")
 // ErrBuildInProgress is returned by Rebuild when a build is already running.
 var ErrBuildInProgress = errors.New("service: build already in progress")
 
+// ErrDuplicateName is returned by Create/CreateReady when the name is taken;
+// HTTP layers map it to a conflict status.
+var ErrDuplicateName = errors.New("service: name already registered")
+
 // engineBox wraps the Engine interface so it can live in an atomic.Pointer.
 type engineBox struct{ e Engine }
 
@@ -81,6 +85,12 @@ type Entry struct {
 	name   string
 	build  BuildFunc
 	engine atomic.Pointer[engineBox]
+
+	// generation counts engine swaps; cache is the current generation's
+	// Suggest memo table, atomically replaced (never mutated in place) on
+	// every swap so cached answers cannot outlive their index.
+	generation atomic.Uint64
+	cache      atomic.Pointer[suggestCache]
 
 	mu       sync.Mutex // guards status, buildErr, done, rebuilds
 	status   Status
@@ -129,8 +139,10 @@ func (r *Registry) add(name string, e Engine, build BuildFunc) (*Entry, error) {
 		return nil, errors.New("service: nil build function")
 	}
 	entry := &Entry{name: name, build: build}
+	entry.cache.Store(newSuggestCache())
 	if e != nil {
 		entry.engine.Store(&engineBox{e: e})
+		entry.generation.Add(1)
 		entry.status = StatusReady
 	} else {
 		entry.status = StatusBuilding
@@ -139,7 +151,7 @@ func (r *Registry) add(name string, e Engine, build BuildFunc) (*Entry, error) {
 	r.mu.Lock()
 	if _, dup := r.entries[name]; dup {
 		r.mu.Unlock()
-		return nil, fmt.Errorf("service: designer %q already exists", name)
+		return nil, fmt.Errorf("%w: designer %q", ErrDuplicateName, name)
 	}
 	r.entries[name] = entry
 	r.mu.Unlock()
@@ -204,7 +216,14 @@ func (e *Entry) runBuild(done chan struct{}, build BuildFunc) {
 			e.status = StatusReady // old engine still serving
 		}
 	} else {
+		// Swap protocol, part 1 of 2 (part 2: Suggest loads cache before
+		// engine): the engine MUST be stored before the fresh cache. If the
+		// cache were stored first, a concurrent Suggest could load the new
+		// cache, then the still-old engine, and memoize a stale answer into
+		// the new generation.
 		e.engine.Store(&engineBox{e: eng})
+		e.generation.Add(1)
+		e.cache.Store(newSuggestCache())
 		e.buildErr = nil
 		e.status = StatusReady
 	}
@@ -280,15 +299,44 @@ func (e *Entry) Engine() (Engine, error) {
 }
 
 // Suggest answers one query against the current engine, recording query
-// count and latency.
+// count and latency. Answers are memoized per (engine generation, unit
+// query direction) — see cache.go — so the repeated queries of a design loop
+// skip the engine entirely; hits still count as served queries.
 func (e *Entry) Suggest(w []float64) (*Suggestion, error) {
+	start := time.Now()
+	// Swap protocol, part 2 of 2 (part 1: runBuild stores engine before
+	// cache): the cache pointer is loaded BEFORE the engine pointer. The
+	// loaded cache can then only be as new as the loaded engine — a swap
+	// between the loads pairs the NEW engine's answer with the OLD (already
+	// replaced) cache, which is dead, so nothing stale can enter the new
+	// generation's cache. The reverse order on either side would let an old
+	// engine's answer poison a fresh cache for its whole lifetime.
+	key, norm, cacheable := cacheKey(w)
+	var cache *suggestCache
+	if cacheable {
+		cache = e.cache.Load()
+		if a, ok := cache.get(key); ok {
+			e.metrics.recordCacheHit()
+			e.metrics.recordQueries(1, time.Since(start), 0)
+			return a.materialize(w, norm), nil
+		}
+	}
 	eng, err := e.Engine()
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	if cacheable {
+		e.metrics.recordCacheMiss()
+	}
 	s, err := eng.Suggest(w)
 	e.metrics.recordQueries(1, time.Since(start), boolToInt(err != nil))
+	if err == nil && cache != nil {
+		a := cachedAnswer{norm: norm, distance: s.Distance, alreadyFair: s.AlreadyFair}
+		if !s.AlreadyFair {
+			a.weights = append([]float64(nil), s.Weights...)
+		}
+		cache.put(key, a)
+	}
 	return s, err
 }
 
@@ -335,19 +383,22 @@ func (e *Entry) Revalidate(check func(Engine) (healthy bool, detail string, err 
 
 // StatusInfo is a point-in-time snapshot of an entry for status endpoints.
 type StatusInfo struct {
-	Name     string          `json:"name"`
-	Status   Status          `json:"status"`
-	Mode     string          `json:"mode,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Rebuilds int             `json:"rebuilds"`
-	Metrics  MetricsSnapshot `json:"metrics"`
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	Mode   string `json:"mode,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Generation counts engine swaps (initial build included); it is the
+	// cache tier's invalidation epoch.
+	Generation uint64          `json:"generation"`
+	Rebuilds   int             `json:"rebuilds"`
+	Metrics    MetricsSnapshot `json:"metrics"`
 }
 
 // Status returns the entry's current lifecycle state, engine mode, last
 // build error, and metrics.
 func (e *Entry) Status() StatusInfo {
 	e.mu.Lock()
-	info := StatusInfo{Name: e.name, Status: e.status, Rebuilds: e.rebuilds}
+	info := StatusInfo{Name: e.name, Status: e.status, Rebuilds: e.rebuilds, Generation: e.generation.Load()}
 	if e.buildErr != nil {
 		info.Error = e.buildErr.Error()
 	}

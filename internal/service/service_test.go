@@ -231,6 +231,97 @@ func TestMetricsCounts(t *testing.T) {
 	}
 }
 
+// countingEngine counts Suggest calls that actually reach the engine, so the
+// cache tier's short-circuiting is observable.
+type countingEngine struct {
+	fakeEngine
+	calls int64
+}
+
+func (c *countingEngine) Suggest(w []float64) (*Suggestion, error) {
+	c.calls++
+	// Answer like a real engine: the suggestion preserves the query's
+	// magnitude (here trivially, by echoing the query).
+	return &Suggestion{Weights: append([]float64(nil), w...), Distance: 0.25}, nil
+}
+
+// The cache tier: repeated Suggest queries to the same direction are served
+// from the memo cache (hit/miss counters in the metrics), scaled queries on
+// the same ray hit too, and an engine swap invalidates everything.
+func TestSuggestCache(t *testing.T) {
+	r := NewRegistry()
+	eng := &countingEngine{fakeEngine: fakeEngine{mode: "2d"}}
+	rebuilt := &countingEngine{fakeEngine: fakeEngine{mode: "2d"}}
+	entry, err := r.CreateReady("d", eng, func() (Engine, error) { return rebuilt, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.6, 0.8}
+	s1, err := entry.Suggest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := entry.Suggest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.calls != 1 {
+		t.Fatalf("engine calls = %d, want 1 (second query cached)", eng.calls)
+	}
+	if s2.Distance != s1.Distance || len(s2.Weights) != len(s1.Weights) {
+		t.Fatalf("cached answer diverged: %+v vs %+v", s2, s1)
+	}
+	for i := range s2.Weights {
+		if s2.Weights[i] != s1.Weights[i] {
+			t.Fatalf("exact-repeat hit must be bit-identical: %v vs %v", s2.Weights, s1.Weights)
+		}
+	}
+	// Same ray at twice the magnitude: a hit, scaled back up.
+	s3, err := entry.Suggest([]float64{1.2, 1.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.calls != 1 {
+		t.Fatalf("engine calls = %d, want 1 (scaled query should hit)", eng.calls)
+	}
+	for i := range s3.Weights {
+		if got, want := s3.Weights[i], 2*s1.Weights[i]; got < want-1e-9 || got > want+1e-9 {
+			t.Fatalf("scaled hit weights = %v, want 2x %v", s3.Weights, s1.Weights)
+		}
+	}
+	// A different direction misses.
+	if _, err := entry.Suggest([]float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.calls != 2 {
+		t.Fatalf("engine calls = %d, want 2 (new direction misses)", eng.calls)
+	}
+	m := entry.Status().Metrics
+	if m.CacheHits != 2 || m.CacheMisses != 2 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 2/2", m.CacheHits, m.CacheMisses)
+	}
+	if m.Queries != 4 {
+		t.Fatalf("queries = %d, want 4 (hits count as served)", m.Queries)
+	}
+	gen := entry.Status().Generation
+	// Swap the engine: the cache must be invalidated.
+	if err := entry.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := entry.WaitReady(ctxWithTimeout(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := entry.Status().Generation; got != gen+1 {
+		t.Fatalf("generation after rebuild = %d, want %d", got, gen+1)
+	}
+	if _, err := entry.Suggest(q); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.calls != 1 {
+		t.Fatalf("rebuilt engine calls = %d, want 1 (swap must invalidate the cache)", rebuilt.calls)
+	}
+}
+
 // Queries from many goroutines racing builds and rebuilds: exercised under
 // -race in CI.
 func TestConcurrentQueriesDuringRebuilds(t *testing.T) {

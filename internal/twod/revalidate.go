@@ -1,50 +1,45 @@
 package twod
 
 import (
+	"fmt"
 	"math"
 
 	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
 	"fairrank/internal/fairness"
 	"fairrank/internal/geom"
 	"fairrank/internal/ranking"
 )
-
-// DriftReport summarizes how well an index built on yesterday's data holds
-// on today's. The paper's introduction motivates exactly this check: a
-// ranking scheme is designed once on a representative sample and reused
-// "as long as the distribution of values in the dataset will not change
-// too much over some window"; Revalidate is the cheap verification step of
-// that loop.
-type DriftReport struct {
-	// Intervals is the number of satisfactory intervals in the index.
-	Intervals int
-	// StillSatisfactory counts indexed intervals whose midpoint function
-	// still satisfies the oracle on the new dataset.
-	StillSatisfactory int
-	// Violations lists the interval indexes whose midpoint now fails.
-	Violations []int
-	// OracleCalls performed.
-	OracleCalls int
-}
-
-// Healthy reports whether every indexed interval survived.
-func (r DriftReport) Healthy() bool { return r.StillSatisfactory == r.Intervals }
 
 // Revalidate probes each satisfactory interval of the index at its
 // midpoint against a (possibly updated) dataset and oracle, in
 // O(#intervals · n log n) — far cheaper than re-running the ray sweep.
 // A failed probe means the data has drifted enough that the index should
 // be rebuilt (the probe is a spot check, not a proof: an interval may also
-// have fractured internally).
-func (idx *Index) Revalidate(ds *dataset.Dataset, oracle fairness.Oracle) (DriftReport, error) {
-	report := DriftReport{Intervals: len(idx.intervals)}
+// have fractured internally). The paper's introduction motivates exactly
+// this check: a ranking scheme is designed once on a representative sample
+// and reused "as long as the distribution of values in the dataset will not
+// change too much over some window"; Revalidate is the cheap verification
+// step of that loop. Violations in the report are interval indexes.
+func (idx *Index) Revalidate(ds *dataset.Dataset, oracle fairness.Oracle) (engine.DriftReport, error) {
+	if ds.D() != 2 {
+		return engine.DriftReport{}, fmt.Errorf("twod: revalidating against a dataset with %d scoring attributes, want 2", ds.D())
+	}
+	if len(idx.intervals) == 0 {
+		// No satisfactory intervals were found at build time: probe the
+		// unsatisfiable verdict itself, so a dataset that has drifted into
+		// admitting fair functions triggers a rebuild. The sweep is exact,
+		// so the verdict needs no build-data baseline (nil).
+		return engine.RevalidateUnsatisfiable(nil, nil, ds, oracle)
+	}
+	report := engine.DriftReport{Probes: len(idx.intervals)}
 	counter := &fairness.Counter{O: oracle}
 	for i, iv := range idx.intervals {
 		mid := (iv.Start + iv.End) / 2
 		w := geom.Vector{math.Cos(mid), math.Sin(mid)}
 		order, err := ranking.Order(ds, w)
 		if err != nil {
-			return DriftReport{}, err
+			return engine.DriftReport{}, err
 		}
 		if counter.Check(order) {
 			report.StillSatisfactory++

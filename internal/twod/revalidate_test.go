@@ -26,8 +26,8 @@ func TestRevalidateSameData(t *testing.T) {
 	if !report.Healthy() {
 		t.Fatalf("index on unchanged data should be healthy: %+v", report)
 	}
-	if report.OracleCalls != report.Intervals {
-		t.Errorf("oracle calls %d, want %d", report.OracleCalls, report.Intervals)
+	if report.OracleCalls != report.Probes {
+		t.Errorf("oracle calls %d, want %d", report.OracleCalls, report.Probes)
 	}
 }
 
@@ -50,8 +50,8 @@ func TestRevalidateDetectsDrift(t *testing.T) {
 	if report.Healthy() {
 		t.Fatal("all-false oracle must be detected as drift")
 	}
-	if len(report.Violations) != report.Intervals {
-		t.Errorf("violations = %v, want all %d intervals", report.Violations, report.Intervals)
+	if len(report.Violations) != report.Probes {
+		t.Errorf("violations = %v, want all %d intervals", report.Violations, report.Probes)
 	}
 }
 

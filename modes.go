@@ -1,0 +1,100 @@
+package fairrank
+
+import (
+	"fmt"
+	"io"
+
+	"fairrank/internal/cells"
+	"fairrank/internal/core"
+	"fairrank/internal/engine"
+	"fairrank/internal/twod"
+)
+
+// This file is the one place engine-mode dispatch lives. Everything above it
+// — the Designer's query methods, the batch fan-out, persistence, the
+// serving registry and the HTTP API — talks to engine.Engine and never
+// branches on Mode; adding an engine means adding a case to the two
+// constructors below and nothing else.
+
+// buildEngine runs a concrete mode's offline phase over the dataset and
+// wraps the resulting index in its engine adapter.
+func buildEngine(mode Mode, ds *Dataset, oracle Oracle, cfg Config) (engine.Engine, error) {
+	switch mode {
+	case Mode2D:
+		if ds.D() != 2 {
+			return nil, fmt.Errorf("fairrank: Mode2D requires 2 scoring attributes, dataset has %d", ds.D())
+		}
+		idx, err := twod.RaySweep(ds, oracle, twod.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		return twod.NewEngine(idx), nil
+	case ModeExact:
+		idx, err := core.SatRegions(ds, oracle, core.Options{
+			UseTree:        !cfg.DisableArrangementTree,
+			MaxHyperplanes: cfg.MaxHyperplanes,
+			Seed:           cfg.Seed,
+			PruneTopK:      cfg.PruneTopK,
+			Workers:        cfg.Workers,
+			// Adjacency-ordered incremental labeling is exact in 2D, where
+			// angle-space hyperplanes coincide with the exchange angles.
+			IncrementalLabeling: ds.D() == 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(idx), nil
+	case ModeApprox:
+		n := cfg.Cells
+		if n <= 0 {
+			n = 10000
+		}
+		cap := cfg.CellRegionCap
+		switch {
+		case cap == 0:
+			cap = 512
+		case cap < 0:
+			cap = 0 // unlimited
+		}
+		idx, err := cells.Preprocess(ds, oracle, n, cells.Options{
+			Seed:              cfg.Seed,
+			PruneTopK:         cfg.PruneTopK,
+			MaxHyperplanes:    cfg.MaxHyperplanes,
+			MaxRegionsPerCell: cap,
+			Workers:           cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cells.NewEngine(idx, cfg.RefineQueries), nil
+	default:
+		return nil, fmt.Errorf("fairrank: unknown mode %v", mode)
+	}
+}
+
+// loadEngine reconstructs a mode's engine adapter from a persisted index
+// payload (the universal header has already been read and validated).
+func loadEngine(mode Mode, r io.Reader, ds *Dataset, oracle Oracle, refine bool) (engine.Engine, error) {
+	switch mode {
+	case Mode2D:
+		idx, err := twod.LoadIndex(r)
+		if err != nil {
+			return nil, err
+		}
+		return twod.NewEngine(idx), nil
+	case ModeExact:
+		idx, err := core.LoadIndex(r, ds, oracle)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(idx), nil
+	case ModeApprox:
+		idx, err := cells.LoadIndex(r, ds, oracle)
+		if err != nil {
+			return nil, err
+		}
+		return cells.NewEngine(idx, refine), nil
+	default:
+		return nil, fmt.Errorf("fairrank: unknown mode %v", mode)
+	}
+}

@@ -5,10 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-
-	"fairrank/internal/cells"
-	"fairrank/internal/core"
-	"fairrank/internal/twod"
 )
 
 // Index persistence: every engine's offline phase can be saved with
@@ -103,7 +99,8 @@ func readIndexHeader(r io.Reader, ds *Dataset) (Mode, uint32, error) {
 // SaveIndex serializes the designer's preprocessed index so the offline
 // phase can be paid once and reused across processes (see LoadDesigner).
 // All three engines are supported; the stream starts with a universal header
-// recording the engine mode and a fingerprint of the dataset.
+// recording the engine mode and a fingerprint of the dataset, followed by
+// the engine's own payload (Engine.Persist).
 func (d *Designer) SaveIndex(w io.Writer) error {
 	var flags uint32
 	if d.refine {
@@ -112,16 +109,7 @@ func (d *Designer) SaveIndex(w io.Writer) error {
 	if err := writeIndexHeader(w, d.mode, d.ds, flags); err != nil {
 		return err
 	}
-	switch d.mode {
-	case Mode2D:
-		return d.idx2d.WriteIndex(w)
-	case ModeExact:
-		return d.exact.WriteIndex(w)
-	case ModeApprox:
-		return d.approx.WriteIndex(w)
-	default:
-		return fmt.Errorf("%w: %v", ErrUnsupportedMode, d.mode)
-	}
+	return d.eng.Persist(w)
 }
 
 // LoadDesigner reconstructs a designer of any engine mode from a SaveIndex
@@ -138,20 +126,10 @@ func LoadDesigner(r io.Reader, ds *Dataset, oracle Oracle) (*Designer, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Designer{ds: ds, oracle: oracle, mode: mode, refine: flags&flagRefineQueries != 0}
-	switch mode {
-	case Mode2D:
-		if d.idx2d, err = twod.LoadIndex(r); err != nil {
-			return nil, err
-		}
-	case ModeExact:
-		if d.exact, err = core.LoadIndex(r, ds, oracle); err != nil {
-			return nil, err
-		}
-	case ModeApprox:
-		if d.approx, err = cells.LoadIndex(r, ds, oracle); err != nil {
-			return nil, err
-		}
+	refine := flags&flagRefineQueries != 0
+	eng, err := loadEngine(mode, r, ds, oracle, refine)
+	if err != nil {
+		return nil, err
 	}
-	return d, nil
+	return &Designer{ds: ds, oracle: oracle, mode: mode, refine: refine, eng: eng}, nil
 }

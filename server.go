@@ -50,6 +50,15 @@ func NewServer() *Server {
 	return s
 }
 
+// ErrUnknownID is returned (wrapped, naming the id) when a dataset or
+// designer lookup fails; the HTTP layer maps it to 404.
+var ErrUnknownID = errors.New("fairrank: unknown id")
+
+// ErrDuplicateID is returned (wrapped, naming the id) when registering a
+// dataset under a taken id; the HTTP layer maps it — like the registry's
+// service.ErrDuplicateName for designers — to 409.
+var ErrDuplicateID = errors.New("fairrank: id already registered")
+
 // designerEngine adapts a Designer to the service.Engine interface.
 type designerEngine struct{ d *Designer }
 
@@ -117,7 +126,7 @@ func (s *Server) AddDataset(id string, ds *Dataset) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.datasets[id]; dup {
-		return fmt.Errorf("fairrank: dataset %q already exists", id)
+		return fmt.Errorf("%w: dataset %q", ErrDuplicateID, id)
 	}
 	s.datasets[id] = ds
 	return nil
@@ -166,7 +175,7 @@ func (s *Server) CreateDesigner(id string, spec DesignerSpec) error {
 func (s *Server) builder(spec DesignerSpec) (service.BuildFunc, error) {
 	ds, ok := s.Dataset(spec.Dataset)
 	if !ok {
-		return nil, fmt.Errorf("fairrank: unknown dataset %q", spec.Dataset)
+		return nil, fmt.Errorf("%w: dataset %q", ErrUnknownID, spec.Dataset)
 	}
 	oracle, err := spec.Oracle.Build(ds)
 	if err != nil {
@@ -190,7 +199,7 @@ func (s *Server) builder(spec DesignerSpec) (service.BuildFunc, error) {
 func (s *Server) WaitReady(ctx context.Context, id string) error {
 	entry, ok := s.reg.Get(id)
 	if !ok {
-		return fmt.Errorf("fairrank: unknown designer %q", id)
+		return fmt.Errorf("%w: designer %q", ErrUnknownID, id)
 	}
 	return entry.WaitReady(ctx)
 }
@@ -199,7 +208,7 @@ func (s *Server) WaitReady(ctx context.Context, id string) error {
 func (s *Server) DesignerStatus(id string) (service.StatusInfo, error) {
 	entry, ok := s.reg.Get(id)
 	if !ok {
-		return service.StatusInfo{}, fmt.Errorf("fairrank: unknown designer %q", id)
+		return service.StatusInfo{}, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
 	}
 	return entry.Status(), nil
 }
@@ -208,7 +217,7 @@ func (s *Server) DesignerStatus(id string) (service.StatusInfo, error) {
 func (s *Server) Suggest(id string, w []float64) (*Suggestion, error) {
 	entry, ok := s.reg.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("fairrank: unknown designer %q", id)
+		return nil, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
 	}
 	res, err := entry.Suggest(w)
 	if err != nil {
@@ -221,7 +230,7 @@ func (s *Server) Suggest(id string, w []float64) (*Suggestion, error) {
 func (s *Server) SuggestBatch(id string, ws [][]float64) ([]BatchResult, error) {
 	entry, ok := s.reg.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("fairrank: unknown designer %q", id)
+		return nil, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
 	}
 	batch, err := entry.SuggestBatch(ws)
 	if err != nil {
@@ -258,7 +267,7 @@ type RevalidateResult struct {
 func (s *Server) Revalidate(id string, datasetID string) (RevalidateResult, error) {
 	entry, ok := s.reg.Get(id)
 	if !ok {
-		return RevalidateResult{}, fmt.Errorf("fairrank: unknown designer %q", id)
+		return RevalidateResult{}, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
 	}
 	s.mu.RLock()
 	spec, ok := s.specs[id]
@@ -271,7 +280,7 @@ func (s *Server) Revalidate(id string, datasetID string) (RevalidateResult, erro
 	}
 	against, ok := s.Dataset(datasetID)
 	if !ok {
-		return RevalidateResult{}, fmt.Errorf("fairrank: unknown dataset %q", datasetID)
+		return RevalidateResult{}, fmt.Errorf("%w: dataset %q", ErrUnknownID, datasetID)
 	}
 	// When checking against a different dataset (today's data vs the one the
 	// index was built on), a failed check must rebuild over THAT dataset:
@@ -303,8 +312,10 @@ func (s *Server) Revalidate(id string, datasetID string) (RevalidateResult, erro
 		if err != nil {
 			return false, "", err
 		}
-		detail := fmt.Sprintf("%d/%d intervals still satisfactory",
-			report.StillSatisfactory, report.Intervals)
+		// "Passed" rather than "satisfactory": for an unsatisfiable index
+		// the probes attest the opposite verdict (directions still unfair).
+		detail := fmt.Sprintf("%d/%d drift probes passed",
+			report.StillSatisfactory, report.Probes)
 		if !report.Healthy() {
 			if rerr := repoint(); rerr != nil {
 				return false, detail, rerr
@@ -322,7 +333,7 @@ func (s *Server) Revalidate(id string, datasetID string) (RevalidateResult, erro
 func (s *Server) Rebuild(id string) error {
 	entry, ok := s.reg.Get(id)
 	if !ok {
-		return fmt.Errorf("fairrank: unknown designer %q", id)
+		return fmt.Errorf("%w: designer %q", ErrUnknownID, id)
 	}
 	return entry.Rebuild()
 }

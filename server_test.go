@@ -386,69 +386,89 @@ func TestServerDuplicateAndBadIDs(t *testing.T) {
 	}
 }
 
+// TestServerRevalidateDriftTriggersRebuild runs the drift loop — revalidate
+// against tomorrow's data, rebuild-and-swap on failure — for a designer in
+// each of the three engine modes: every engine implements Revalidate through
+// the internal/engine interface, so the HTTP 409 the non-2D modes used to
+// return is gone.
 func TestServerRevalidateDriftTriggersRebuild(t *testing.T) {
-	srv, _ := testServer(t)
-	ds, err := datagen.Biased(100, 2, 0.5, 0.25, 1, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
-	drifted, err := datagen.Biased(100, 2, 0.5, 0.9, 1, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := srv.AddDataset("live", ds); err != nil {
-		t.Fatal(err)
-	}
-	if err := srv.AddDataset("tomorrow", drifted); err != nil {
-		t.Fatal(err)
-	}
-	if err := srv.CreateDesigner("x", DesignerSpec{
-		Dataset: "live",
-		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.2, Share: 0.4},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
-	if err := srv.WaitReady(ctx, "x"); err != nil {
-		t.Fatal(err)
-	}
-	d, _ := srv.DesignerStatus("x")
-	if d.Mode != "2d" {
-		t.Fatalf("mode = %v", d.Mode)
-	}
-	res, err := srv.Revalidate("x", "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Healthy {
-		t.Fatalf("unchanged data should revalidate cleanly: %+v", res)
-	}
-	// Heavily drifted data: not guaranteed to break every interval, but when
-	// it does, a rebuild must start; either way the call must succeed and
-	// the designer must keep serving.
-	res, err = srv.Revalidate("x", "tomorrow")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Healthy {
-		if !res.Rebuilding {
-			t.Fatalf("drifted revalidate must trigger a rebuild: %+v", res)
-		}
-		if err := srv.WaitReady(ctx, "x"); err != nil {
-			t.Fatal(err)
-		}
-		// The rebuild repointed the designer at the drifted dataset, so a
-		// fresh check against it must now come back healthy.
-		res, err = srv.Revalidate("x", "tomorrow")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !res.Healthy {
-			t.Fatalf("rebuild did not repoint at the drifted dataset: %+v", res)
-		}
-	}
-	if _, err := srv.Suggest("x", []float64{0.5, 0.5}); err != nil {
-		t.Fatalf("designer stopped serving after revalidate: %v", err)
+	for _, tc := range []struct {
+		mode   string
+		config ConfigSpec
+	}{
+		{mode: "2d", config: ConfigSpec{Mode: "2d"}},
+		// Capped arrangement on purpose: its labels are approximate, and
+		// the witness-baseline filter is what keeps revalidate healthy on
+		// unchanged data instead of triggering rebuilds forever.
+		{mode: "exact", config: ConfigSpec{Mode: "exact", MaxHyperplanes: 300}},
+		{mode: "approx", config: ConfigSpec{Mode: "approx", Cells: 200, MaxHyperplanes: 300}},
+	} {
+		t.Run(tc.mode, func(t *testing.T) {
+			srv, _ := testServer(t)
+			ds, err := datagen.Biased(100, 2, 0.5, 0.25, 1, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drifted, err := datagen.Biased(100, 2, 0.5, 0.9, 1, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.AddDataset("live", ds); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.AddDataset("tomorrow", drifted); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.CreateDesigner("x", DesignerSpec{
+				Dataset: "live",
+				Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.2, Share: 0.4},
+				Config:  tc.config,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := srv.WaitReady(ctx, "x"); err != nil {
+				t.Fatal(err)
+			}
+			d, _ := srv.DesignerStatus("x")
+			if d.Mode != tc.mode {
+				t.Fatalf("mode = %v, want %v", d.Mode, tc.mode)
+			}
+			res, err := srv.Revalidate("x", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Healthy {
+				t.Fatalf("unchanged data should revalidate cleanly: %+v", res)
+			}
+			// Heavily drifted data: not guaranteed to break every probe, but
+			// when it does, a rebuild must start; either way the call must
+			// succeed and the designer must keep serving.
+			res, err = srv.Revalidate("x", "tomorrow")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Healthy {
+				if !res.Rebuilding {
+					t.Fatalf("drifted revalidate must trigger a rebuild: %+v", res)
+				}
+				if err := srv.WaitReady(ctx, "x"); err != nil {
+					t.Fatal(err)
+				}
+				// The rebuild repointed the designer at the drifted dataset,
+				// so a fresh check against it must now come back healthy.
+				res, err = srv.Revalidate("x", "tomorrow")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Healthy {
+					t.Fatalf("rebuild did not repoint at the drifted dataset: %+v", res)
+				}
+			}
+			if _, err := srv.Suggest("x", []float64{0.5, 0.5}); err != nil {
+				t.Fatalf("designer stopped serving after revalidate: %v", err)
+			}
+		})
 	}
 }
