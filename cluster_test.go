@@ -1,0 +1,448 @@
+package fairrank
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"fairrank/internal/datagen"
+	"fairrank/internal/service"
+)
+
+// shardedQueries builds a deterministic positive-orthant query workload.
+func shardedQueries(d, n int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	queries := make([][]float64, n)
+	for i := range queries {
+		w := make([]float64, d)
+		for k := range w {
+			w[k] = r.Float64() + 0.01
+		}
+		queries[i] = w
+	}
+	return queries
+}
+
+// A sharded cluster must be invisible in the answers: a 3-shard server
+// returns byte-identical Suggest and SuggestBatch results to a plain
+// single-registry server for the same dataset/designer specs — across all
+// three engine modes.
+func TestShardedByteIdenticalToSingle(t *testing.T) {
+	single := NewServer()
+	sharded, err := NewClusterServer(ClusterConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	biased, err := datagen.Biased(80, 2, 0.5, 0.3, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := datagen.Uniform(20, 3, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]DesignerSpec{}
+	for i := 0; i < 4; i++ {
+		specs[fmt.Sprintf("designer-%d", i)] = DesignerSpec{
+			Dataset: "biased",
+			Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+			Config:  ConfigSpec{Mode: "2d"},
+		}
+	}
+	specs["designer-exact"] = DesignerSpec{
+		Dataset: "uniform",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "exact", Seed: 4},
+	}
+	specs["designer-approx"] = DesignerSpec{
+		Dataset: "uniform",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "approx", Cells: 150, MaxHyperplanes: 300, Seed: 4},
+	}
+	for _, srv := range []*Server{single, sharded} {
+		if err := srv.AddDataset("biased", biased); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.AddDataset("uniform", uniform); err != nil {
+			t.Fatal(err)
+		}
+		for id, spec := range specs {
+			if err := srv.CreateDesigner(id, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for id := range specs {
+			if err := srv.WaitReady(t.Context(), id); err != nil {
+				t.Fatalf("designer %s: %v", id, err)
+			}
+		}
+	}
+
+	// The designers must actually be partitioned, not piled on one shard.
+	total, nonEmpty := 0, 0
+	for _, reg := range sharded.router.Shards() {
+		if n := reg.Len(); n > 0 {
+			nonEmpty++
+			total += n
+		}
+	}
+	if total != len(specs) {
+		t.Fatalf("shards hold %d designers in total, want %d", total, len(specs))
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("only %d of 3 shards hold designers — not partitioned", nonEmpty)
+	}
+
+	for id, spec := range specs {
+		d := 2
+		if spec.Dataset == "uniform" {
+			d = 3
+		}
+		queries := shardedQueries(d, 16, 29)
+		for _, w := range queries {
+			want, werr := single.Suggest(id, w)
+			got, gerr := sharded.Suggest(id, w)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("%s: error mismatch %v vs %v", id, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			if got.Distance != want.Distance || got.AlreadyFair != want.AlreadyFair {
+				t.Fatalf("%s query %v: %+v vs %+v", id, w, got, want)
+			}
+			for k := range want.Weights {
+				if got.Weights[k] != want.Weights[k] {
+					t.Fatalf("%s query %v: weights %v vs %v (must be byte-identical)",
+						id, w, got.Weights, want.Weights)
+				}
+			}
+		}
+		wantBatch, err := single.SuggestBatch(id, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBatch, err := sharded.SuggestBatch(id, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantBatch {
+			w, g := wantBatch[i], gotBatch[i]
+			if (w.Err != nil) != (g.Err != nil) {
+				t.Fatalf("%s batch slot %d: error mismatch %v vs %v", id, i, w.Err, g.Err)
+			}
+			if w.Err != nil {
+				continue
+			}
+			if g.Suggestion.Distance != w.Suggestion.Distance {
+				t.Fatalf("%s batch slot %d: %+v vs %+v", id, i, g.Suggestion, w.Suggestion)
+			}
+			for k := range w.Suggestion.Weights {
+				if g.Suggestion.Weights[k] != w.Suggestion.Weights[k] {
+					t.Fatalf("%s batch slot %d: weights diverge", id, i)
+				}
+			}
+		}
+	}
+}
+
+// clusterNode is one live fairrankd-style node: a Server listening on a real
+// TCP port, so peers can forward to it.
+type clusterNode struct {
+	srv  *Server
+	url  string
+	http *http.Server
+}
+
+// stop kills the node hard: listener and every live connection, so peers'
+// pooled keep-alive connections really start failing.
+func (n clusterNode) stop() {
+	n.http.Close()
+	n.srv.Close()
+}
+
+// startCluster boots a two-node cluster on loopback listeners, each node
+// configured with the other as its peer.
+func startCluster(t *testing.T) (a, b clusterNode) {
+	t.Helper()
+	la, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA, urlB := "http://"+la.Addr().String(), "http://"+lb.Addr().String()
+	srvA, err := NewClusterServer(ClusterConfig{
+		NodeID: "node-a", Shards: 2,
+		Peers: []ClusterPeer{{ID: "node-b", URL: urlB}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := NewClusterServer(ClusterConfig{
+		NodeID: "node-b", Shards: 2,
+		Peers: []ClusterPeer{{ID: "node-a", URL: urlA}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := &http.Server{Handler: srvA.Handler()}
+	hb := &http.Server{Handler: srvB.Handler()}
+	go ha.Serve(la) //nolint:errcheck // closed by cleanup
+	go hb.Serve(lb) //nolint:errcheck // closed by cleanup
+	a = clusterNode{srv: srvA, url: urlA, http: ha}
+	b = clusterNode{srv: srvB, url: urlB, http: hb}
+	t.Cleanup(func() { a.stop(); b.stop() })
+	return a, b
+}
+
+// designerOwnedBy finds a designer id that the ring assigns to the given
+// node, as computed by any member (determinism is covered in
+// internal/cluster; here we just need a fixture).
+func designerOwnedBy(t *testing.T, s *Server, nodeID string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("designer-%d", i)
+		if s.router.Owner(id).ID == nodeID {
+			return id
+		}
+	}
+	t.Fatal("no designer name hashes to the wanted node")
+	return ""
+}
+
+// postJSON posts a JSON body and decodes the response.
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// In a two-node cluster, any node must answer for any designer: metadata
+// creates replicate to the peer, the ring owner builds the index, and a
+// request landing on the other node is forwarded — returning the same bytes
+// a single-node server produces.
+func TestClusterRoutedMatchesLocal(t *testing.T) {
+	a, b := startCluster(t)
+
+	reference := NewServer()
+	ds, err := datagen.Biased(80, 2, 0.5, 0.3, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DesignerSpec{
+		Dataset: "d",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "2d"},
+	}
+	if err := reference.AddDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	id := designerOwnedBy(t, a.srv, "node-b")
+	if err := reference.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.WaitReady(t.Context(), id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Create everything through node A; the designer is owned by node B.
+	if code := postJSON(t, a.url+"/v1/datasets",
+		map[string]any{"id": "d", "dataset": SpecOfDataset(ds)}, nil); code != http.StatusCreated {
+		t.Fatalf("create dataset: HTTP %d", code)
+	}
+	var st service.StatusInfo
+	if code := postJSON(t, a.url+"/v1/designers?wait=true",
+		map[string]any{"id": id, "spec": spec}, &st); code != http.StatusAccepted {
+		t.Fatalf("create designer: HTTP %d", code)
+	}
+	if st.Status != service.StatusReady {
+		t.Fatalf("create?wait=true through the non-owner returned status %+v", st)
+	}
+
+	// The index must live on B (the owner), not on A.
+	if _, ok := a.srv.shard(id).Get(id); ok {
+		t.Fatal("non-owner node built the index")
+	}
+	if _, ok := b.srv.shard(id).Get(id); !ok {
+		t.Fatal("owner node did not build the index")
+	}
+
+	for _, w := range shardedQueries(2, 8, 31) {
+		want, err := reference.Suggest(id, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, node := range []clusterNode{a, b} {
+			var got suggestionJSON
+			code := postJSON(t, node.url+"/v1/designers/"+id+"/suggest", suggestRequest{Weights: w}, &got)
+			if code != http.StatusOK {
+				t.Fatalf("suggest via %s: HTTP %d", node.url, code)
+			}
+			if got.Distance != want.Distance || got.AlreadyFair != want.AlreadyFair {
+				t.Fatalf("routed answer %+v differs from local %+v", got, want)
+			}
+			for k := range want.Weights {
+				if got.Weights[k] != want.Weights[k] {
+					t.Fatalf("routed weights %v differ from local %v", got.Weights, want.Weights)
+				}
+			}
+		}
+		// Batch through the non-owner: forwarded, byte-identical.
+		var batch struct {
+			Results []suggestionJSON `json:"results"`
+		}
+		if code := postJSON(t, a.url+"/v1/designers/"+id+"/suggest",
+			suggestRequest{Batch: [][]float64{w}}, &batch); code != http.StatusOK {
+			t.Fatalf("batch via non-owner: HTTP %d", code)
+		}
+		if len(batch.Results) != 1 || batch.Results[0].Distance != want.Distance {
+			t.Fatalf("routed batch %+v differs from local %+v", batch.Results, want)
+		}
+	}
+
+	// Status through the non-owner reports the owner's real state.
+	resp, err := http.Get(a.url + "/v1/designers/" + id + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Status != service.StatusReady || st.Mode != "2d" {
+		t.Fatalf("routed status = %+v", st)
+	}
+
+	// /cluster on either node shows both members and the ownership split.
+	var cs ClusterStatus
+	resp, err = http.Get(a.url + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cs.NodeID != "node-a" || len(cs.Members) != 2 || len(cs.Shards) != 2 {
+		t.Fatalf("cluster status = %+v", cs)
+	}
+	for _, m := range cs.Members {
+		if m.ID == "node-b" && (len(m.Designers) != 1 || m.Designers[0] != id) {
+			t.Fatalf("member %s should own %s: %+v", m.ID, id, m)
+		}
+	}
+}
+
+// When the owning node dies, the surviving node must fail the designer over
+// to itself: mark the peer unhealthy on the failed forward, activate the
+// replicated spec, rebuild the index locally, and serve the same answers.
+func TestClusterFailoverRebuildsOnSurvivor(t *testing.T) {
+	a, b := startCluster(t)
+	ds, err := datagen.Biased(80, 2, 0.5, 0.3, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DesignerSpec{
+		Dataset: "d",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "2d"},
+	}
+	id := designerOwnedBy(t, a.srv, "node-b")
+	if code := postJSON(t, a.url+"/v1/datasets",
+		map[string]any{"id": "d", "dataset": SpecOfDataset(ds)}, nil); code != http.StatusCreated {
+		t.Fatalf("create dataset: HTTP %d", code)
+	}
+	var st service.StatusInfo
+	if code := postJSON(t, a.url+"/v1/designers?wait=true",
+		map[string]any{"id": id, "spec": spec}, &st); code != http.StatusAccepted || st.Status != service.StatusReady {
+		t.Fatalf("create designer: HTTP %d, %+v", code, st)
+	}
+	if _, ok := a.srv.shard(id).Get(id); ok {
+		t.Fatal("fixture broken: node A should not hold a B-owned index before failover")
+	}
+
+	// Kill the owner. The next suggest through A fails the forward, marks B
+	// down, and starts a local rebuild; keep polling until it serves.
+	b.stop()
+
+	deadline := time.Now().Add(60 * time.Second)
+	var got suggestionJSON
+	for {
+		code := postJSON(t, a.url+"/v1/designers/"+id+"/suggest",
+			suggestRequest{Weights: []float64{0.5, 0.5}}, &got)
+		if code == http.StatusOK {
+			break
+		}
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("failover suggest: HTTP %d", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("failover rebuild never became ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, ok := a.srv.shard(id).Get(id); !ok {
+		t.Fatal("survivor did not activate the replicated spec")
+	}
+	// The failed-over answer must match a fresh single-node build bit for bit.
+	single := NewServer()
+	if err := single.AddDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.WaitReady(t.Context(), id); err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Suggest(id, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Distance != want.Distance {
+		t.Fatalf("failed-over answer %+v differs from single-node %+v", got, want)
+	}
+	for k := range want.Weights {
+		if got.Weights[k] != want.Weights[k] {
+			t.Fatalf("failed-over weights %v differ from %v", got.Weights, want.Weights)
+		}
+	}
+	// A's ring view shows the dead peer.
+	var cs ClusterStatus
+	resp, err := http.Get(a.url + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, m := range cs.Members {
+		if m.ID == "node-b" && m.Healthy {
+			t.Fatal("dead peer still reported healthy after failed forwards")
+		}
+	}
+}

@@ -7,10 +7,20 @@
 //
 //	go test -run '^$' -bench BenchmarkServe . | go run ./cmd/benchjson -o BENCH_serve.json
 //	go test -run '^$' -bench . . | go run ./cmd/benchjson -filter '^BenchmarkBatch' -o BENCH_batch.json
+//	go test -run '^$' -bench BenchmarkServe . | go run ./cmd/benchjson -compare BENCH_serve.json -max-regress 0.25
 //
 // Unparseable lines are ignored, so the raw `go test` stream can be piped in
 // unfiltered; -filter keeps only benchmarks whose name matches the regexp,
 // so one bench run can feed several archives.
+//
+// With -compare, the parsed results are checked against a previously
+// archived baseline: the CI perf-regression gate. For every benchmark
+// present in both sets, each time metric (ns/op, ns/query — lower is
+// better) must not exceed the baseline by more than -max-regress
+// (fractional; 0.25 = 25% slower). Any regression prints a report and exits
+// non-zero, failing the job. Benchmarks missing from either side are
+// reported but do not fail, so filters and newly added benchmarks don't
+// break the gate.
 package main
 
 import (
@@ -76,9 +86,74 @@ func collect(in io.Reader, keep *regexp.Regexp) ([]result, error) {
 	return results, sc.Err()
 }
 
+// timeMetrics are the lower-is-better metrics the regression gate checks.
+// Throughput-style metrics would need the opposite comparison, and B/op or
+// allocs/op jitter with compiler versions; latency is what the archives
+// track, so latency is what the gate enforces.
+var timeMetrics = []string{"ns/op", "ns/query"}
+
+// compareResults checks current against baseline: for each benchmark and
+// time metric present in both, the current value may exceed the baseline by
+// at most maxRegress (fractional). It returns a human-readable report and
+// whether any benchmark regressed.
+func compareResults(current, baseline []result, maxRegress float64) (report []string, regressed bool) {
+	base := make(map[string]result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			report = append(report, fmt.Sprintf("NEW     %s: not in baseline (will be gated once archived)", cur.Name))
+			continue
+		}
+		for _, metric := range timeMetrics {
+			cv, cok := cur.Metrics[metric]
+			bv, bok := b.Metrics[metric]
+			if !cok || !bok || bv <= 0 {
+				continue
+			}
+			ratio := cv/bv - 1
+			line := fmt.Sprintf("%s %s: %.4g → %.4g (%+.1f%%, limit +%.0f%%)",
+				cur.Name, metric, bv, cv, 100*ratio, 100*maxRegress)
+			if ratio > maxRegress {
+				report = append(report, "REGRESS "+line)
+				regressed = true
+			} else {
+				report = append(report, "ok      "+line)
+			}
+		}
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			report = append(report, fmt.Sprintf("MISSING %s: in baseline but not in this run", b.Name))
+		}
+	}
+	return report, regressed
+}
+
+// loadBaseline reads a benchjson archive back in.
+func loadBaseline(path string) ([]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks []result `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return doc.Benchmarks, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	filter := flag.String("filter", "", "keep only benchmarks whose name matches this regexp")
+	compare := flag.String("compare", "", "baseline benchjson file to gate against (exits 1 on regression)")
+	maxRegress := flag.Float64("max-regress", 0.25, "with -compare: allowed fractional slowdown per time metric")
 	flag.Parse()
 
 	var keep *regexp.Regexp
@@ -91,6 +166,23 @@ func main() {
 	results, err := collect(os.Stdin, keep)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *compare != "" {
+		baseline, err := loadBaseline(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, regressed := compareResults(results, baseline, *maxRegress)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if regressed {
+			log.Fatalf("perf-regression gate failed against %s", *compare)
+		}
+		log.Printf("perf-regression gate passed against %s (%d benchmark(s))", *compare, len(results))
+		if *out == "" {
+			return
+		}
 	}
 	doc, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
 	if err != nil {

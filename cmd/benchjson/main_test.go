@@ -37,6 +37,61 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+func res(name string, metrics map[string]float64) result {
+	return result{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+// The perf gate: time metrics may exceed the baseline by at most the allowed
+// fraction; improvements and small drifts pass, bigger slowdowns fail, and
+// benchmarks missing on either side never fail the gate.
+func TestCompareResults(t *testing.T) {
+	baseline := []result{
+		res("BenchmarkServeSuggest", map[string]float64{"ns/op": 100, "ns/query": 100}),
+		res("BenchmarkServeSuggestBatch", map[string]float64{"ns/op": 1000, "ns/query": 50}),
+		res("BenchmarkRetired", map[string]float64{"ns/op": 10}),
+	}
+	// Within the 25% budget (and one improvement): passes.
+	report, regressed := compareResults([]result{
+		res("BenchmarkServeSuggest", map[string]float64{"ns/op": 120, "ns/query": 80}),
+		res("BenchmarkServeSuggestBatch", map[string]float64{"ns/op": 1249, "ns/query": 62.4}),
+		res("BenchmarkBrandNew", map[string]float64{"ns/op": 5}),
+	}, baseline, 0.25)
+	if regressed {
+		t.Fatalf("within-budget run flagged as regression:\n%s", strings.Join(report, "\n"))
+	}
+	hasNew, hasMissing := false, false
+	for _, line := range report {
+		hasNew = hasNew || strings.HasPrefix(line, "NEW     BenchmarkBrandNew")
+		hasMissing = hasMissing || strings.HasPrefix(line, "MISSING BenchmarkRetired")
+	}
+	if !hasNew || !hasMissing {
+		t.Fatalf("report should note new and missing benchmarks:\n%s", strings.Join(report, "\n"))
+	}
+	// 26% over on a single metric: fails.
+	report, regressed = compareResults([]result{
+		res("BenchmarkServeSuggest", map[string]float64{"ns/op": 100, "ns/query": 126}),
+	}, baseline, 0.25)
+	if !regressed {
+		t.Fatalf("26%% slowdown must fail the gate:\n%s", strings.Join(report, "\n"))
+	}
+	found := false
+	for _, line := range report {
+		found = found || strings.HasPrefix(line, "REGRESS BenchmarkServeSuggest ns/query")
+	}
+	if !found {
+		t.Fatalf("report should name the regressed metric:\n%s", strings.Join(report, "\n"))
+	}
+	// Non-time metrics (allocations etc.) are not gated.
+	_, regressed = compareResults([]result{
+		res("BenchmarkServeSuggest", map[string]float64{"ns/op": 100, "allocs/op": 1e9}),
+	}, []result{
+		res("BenchmarkServeSuggest", map[string]float64{"ns/op": 100, "allocs/op": 1}),
+	}, 0.25)
+	if regressed {
+		t.Fatal("allocs/op must not trip the latency gate")
+	}
+}
+
 func TestCollectFilter(t *testing.T) {
 	stream := strings.Join([]string{
 		"goos: linux",

@@ -8,30 +8,73 @@
 // Usage:
 //
 //	fairrankd [-addr :8080] [-data ./fairrankd-data]
+//	          [-node-id node-0] [-shards 4] [-peers node-1=http://host:8080,...]
 //
-// See the "Running fairrankd" section of the README for the API by example.
+// A fleet of fairrankd nodes forms a cluster: designers are partitioned
+// across nodes by a rendezvous-hash ring, every node accepts every request
+// and forwards it to the owner, and -shards splits each node's registry into
+// in-process shards. See the "Running a fairrankd cluster" section of the
+// README for the API by example.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"fairrank"
 )
 
+// parsePeers turns "id=url,id=url" into ClusterPeers.
+func parsePeers(s string) ([]fairrank.ClusterPeer, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var peers []fairrank.ClusterPeer
+	for _, part := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("peer %q is not id=url", part)
+		}
+		peers = append(peers, fairrank.ClusterPeer{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	return peers, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "fairrankd-data", "directory for persisted datasets and indexes (empty = no persistence)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	nodeID := flag.String("node-id", "node-0", "this node's id on the cluster ring (must be unique per cluster)")
+	shards := flag.Int("shards", 1, "number of in-process shard registries")
+	peersFlag := flag.String("peers", "", "comma-separated remote nodes as id=http://host:port")
+	healthInterval := flag.Duration("health-interval", 5*time.Second, "peer health probe period (0 = probe only on failed forwards)")
 	flag.Parse()
 
-	srv := fairrank.NewServer()
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("parsing -peers: %v", err)
+	}
+	srv, err := fairrank.NewClusterServer(fairrank.ClusterConfig{
+		NodeID:         *nodeID,
+		Shards:         *shards,
+		Peers:          peers,
+		HealthInterval: *healthInterval,
+	})
+	if err != nil {
+		log.Fatalf("configuring cluster: %v", err)
+	}
+	defer srv.Close()
+	if len(peers) > 0 {
+		log.Printf("node %s joining ring with %d peer(s), %d local shard(s)", *nodeID, len(peers), *shards)
+	}
 	if *dataDir != "" {
 		if err := srv.LoadDir(*dataDir); err != nil {
 			log.Fatalf("loading data directory %s: %v", *dataDir, err)

@@ -1,12 +1,15 @@
 package fairrank
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
+	"fairrank/internal/cluster"
 	"fairrank/internal/service"
 )
 
@@ -19,8 +22,14 @@ import (
 //	GET  /v1/designers/{id}/status        → service.StatusInfo
 //	POST /v1/designers/{id}/suggest       {"weights": [...]} or {"batch": [[...], ...]}
 //	POST /v1/designers/{id}/revalidate    {"dataset": optional id}
+//	GET  /cluster                         → ClusterStatus (ring, health, per-shard rollup)
 //	GET  /metrics                         → per-designer counters + latency histograms
 //	GET  /healthz                         → {"status": "ok"}
+//
+// In a cluster, any node accepts any request: per-designer calls are
+// forwarded to the designer's ring owner, and metadata creates replicate to
+// every peer. A request carrying the X-Fairrank-Forwarded header is always
+// handled locally, so disagreeing ring views bounce a request at most once.
 
 // suggestRequest is the body of POST /v1/designers/{id}/suggest: exactly one
 // of Weights (single query) and Batch (many queries) must be set.
@@ -55,6 +64,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/designers/{id}/status", s.handleDesignerStatus)
 	s.mux.HandleFunc("POST /v1/designers/{id}/suggest", s.handleSuggest)
 	s.mux.HandleFunc("POST /v1/designers/{id}/revalidate", s.handleRevalidate)
+	s.mux.HandleFunc("GET /cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -99,12 +109,91 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// readBody buffers the (bounded) request body so handlers can both decode it
+// locally and hand the identical bytes to a forward or replication call.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		return nil, false
+	}
+	return raw, true
+}
+
+// decodeRaw decodes a buffered body, answering 400 on malformed JSON.
+func decodeRaw(w http.ResponseWriter, body []byte, v any) bool {
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// forwardToOwner proxies a per-designer request to the cluster member that
+// owns id, returning true when the response has been written. Single-node
+// servers and already-forwarded requests are always served locally. A
+// transport failure (nothing written yet) marks the peer down and retries
+// against the recomputed owner — which may be this node: the caller then
+// serves locally, activating the designer's dormant spec (rebuild-on-owner
+// failover).
+func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, id string, body []byte) bool {
+	if s.router.SingleNode() || r.Header.Get(cluster.ForwardHeader) != "" {
+		return false
+	}
+	for {
+		peer, ok := s.router.RemoteOwner(id)
+		if !ok {
+			return false
+		}
+		if err := peer.Forward(w, r, s.router.NodeID(), body); err != nil {
+			if r.Context().Err() != nil {
+				// The requester itself is gone (disconnect or deadline) —
+				// that is not evidence against the peer, so don't poison
+				// its health; there is nobody left to answer anyway.
+				return true
+			}
+			peer.MarkUnhealthy(err)
+			continue
+		}
+		return true
+	}
+}
+
+// replicate fans a metadata create out to every healthy peer — the
+// metadata-everywhere/indexes-on-owner model: each node stores every dataset
+// and designer spec, but only a designer's ring owner builds and serves its
+// index. Replication is best-effort; a peer that is down misses the create
+// and is repaired by restarting it from a shared data dir or re-issuing the
+// create once it is back.
+func (s *Server) replicate(ctx context.Context, path string, body []byte) {
+	// Detached from the requester's cancellation: a client that disconnects
+	// right after POSTing a create must not abort the fan-out half-way (or
+	// get healthy peers marked down for its own context error). Each peer
+	// gets its own bounded attempt, so one black hole can't stall the rest.
+	base := context.WithoutCancel(ctx)
+	for _, p := range s.router.Peers() {
+		if !p.Healthy() {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(base, 10*time.Second)
+		err := p.PostRaw(pctx, path, s.router.NodeID(), body)
+		cancel()
+		if err != nil {
+			p.MarkUnhealthy(err)
+		}
+	}
+}
+
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var req struct {
 		ID      string      `json:"id"`
 		Dataset DatasetSpec `json:"dataset"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !decodeRaw(w, body, &req) {
 		return
 	}
 	ds, err := req.Dataset.Build()
@@ -112,7 +201,18 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.AddDataset(req.ID, ds); err != nil {
+	err = s.AddDataset(req.ID, ds)
+	if err != nil && !errors.Is(err, ErrDuplicateID) {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	// A duplicate still replicates: cluster-wide the create is idempotent,
+	// and re-issuing it to ANY node is the documented repair for a peer that
+	// lost its metadata (it answers 409 here but reaches the amnesiac peer).
+	if r.Header.Get(cluster.ForwardHeader) == "" {
+		s.replicate(r.Context(), "/v1/datasets", body)
+	}
+	if err != nil {
 		writeError(w, errorStatus(err), err)
 		return
 	}
@@ -124,26 +224,40 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleCreateDesigner(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var req struct {
 		ID   string       `json:"id"`
 		Spec DesignerSpec `json:"spec"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !decodeRaw(w, body, &req) {
 		return
 	}
-	if err := s.CreateDesigner(req.ID, req.Spec); err != nil {
+	err := s.CreateDesigner(req.ID, req.Spec)
+	duplicate := errors.Is(err, ErrDuplicateID) || errors.Is(err, service.ErrDuplicateName)
+	if err != nil && !duplicate {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	forwarded := r.Header.Get(cluster.ForwardHeader) != ""
+	if !forwarded {
+		// Every node stores the spec; the ring owner (possibly a peer that
+		// just received this replica) starts the build. Duplicates replicate
+		// too — re-issuing a create to any node is the documented repair for
+		// a peer that lost its metadata, and must reach that peer even when
+		// the receiving node already has the designer (it still answers 409).
+		s.replicate(r.Context(), "/v1/designers", body)
+	}
+	if err != nil {
 		writeError(w, errorStatus(err), err)
 		return
 	}
 	// ?wait=true blocks until the offline build finishes — convenient for
 	// small datasets and scripted demos; production callers poll status.
-	if r.URL.Query().Get("wait") == "true" {
-		if err := s.WaitReady(r.Context(), req.ID); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-	}
-	st, err := s.DesignerStatus(req.ID)
+	wait := r.URL.Query().Get("wait") == "true" && !forwarded
+	st, err := s.designerStatusWait(r.Context(), req.ID, wait)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -151,12 +265,64 @@ func (s *Server) handleCreateDesigner(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
+// designerStatusWait returns a designer's status, optionally blocking until
+// its build finished; a remote-owned designer is polled on its owner, so
+// create?wait=true behaves the same no matter which node took the create —
+// including the failure shape: a failed build surfaces as an error (HTTP
+// 500) whether it ran here or on the owner.
+func (s *Server) designerStatusWait(ctx context.Context, id string, wait bool) (service.StatusInfo, error) {
+	for {
+		peer, remote := s.router.RemoteOwner(id)
+		var st service.StatusInfo
+		var err error
+		if remote {
+			err = peer.GetJSON(ctx, "/v1/designers/"+id+"/status", s.router.NodeID(), &st)
+			if err != nil {
+				var se *cluster.StatusError
+				if errors.As(err, &se) {
+					// The peer answered (e.g. 404 after losing its state):
+					// an application-level condition, not unhealthiness.
+					return st, err
+				}
+				if ctx.Err() != nil {
+					return st, ctx.Err()
+				}
+				peer.MarkUnhealthy(err)
+				continue // recompute the owner; may fail over to self
+			}
+		} else if st, err = s.DesignerStatus(id); err != nil {
+			return st, err
+		}
+		if wait && st.Status == service.StatusFailed {
+			return st, fmt.Errorf("fairrank: designer %q build failed: %s", id, st.Error)
+		}
+		if !wait || st.Status == service.StatusReady || st.Status == service.StatusFailed {
+			return st, nil
+		}
+		if !remote {
+			if err := s.WaitReady(ctx, id); err != nil {
+				return st, err
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
 func (s *Server) handleListDesigners(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"designers": s.DesignerIDs()})
 }
 
 func (s *Server) handleDesignerStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := s.DesignerStatus(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.forwardToOwner(w, r, id, nil) {
+		return
+	}
+	st, err := s.DesignerStatus(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -166,8 +332,15 @@ func (s *Server) handleDesignerStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if s.forwardToOwner(w, r, id, body) {
+		return
+	}
 	var req suggestRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeRaw(w, body, &req) {
 		return
 	}
 	switch {
@@ -197,13 +370,21 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRevalidate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if s.forwardToOwner(w, r, id, body) {
+		return
+	}
 	var req struct {
 		Dataset string `json:"dataset"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !decodeRaw(w, body, &req) {
 		return
 	}
-	res, err := s.Revalidate(r.PathValue("id"), req.Dataset)
+	res, err := s.Revalidate(id, req.Dataset)
 	if err != nil {
 		writeError(w, errorStatus(err), err)
 		return
@@ -211,8 +392,15 @@ func (s *Server) handleRevalidate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// handleCluster reports this node's ring view, ownership map, and per-shard
+// metrics rollup.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ClusterStatus())
+}
+
 // handleMetrics exposes per-designer query counters and latency histograms
-// in an expvar-style JSON document (stdlib only, scrape-friendly).
+// in an expvar-style JSON document (stdlib only, scrape-friendly), plus the
+// per-shard rollup so one scrape shows how traffic splits across shards.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	designers := make(map[string]service.StatusInfo)
 	for _, id := range s.DesignerIDs() {
@@ -220,9 +408,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			designers[id] = st
 		}
 	}
+	clusterStatus := s.ClusterStatus()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"datasets":       len(s.DatasetIDs()),
 		"designers":      designers,
+		"node_id":        clusterStatus.NodeID,
+		"shards":         clusterStatus.Shards,
 	})
 }

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ForwardHeader marks a request as already forwarded once. A node that
+// receives a request carrying it serves locally no matter what its ring
+// says, so two nodes with momentarily different health views bounce a
+// request at most once instead of ping-ponging it forever.
+const ForwardHeader = "X-Fairrank-Forwarded"
+
+// Peer is the client side of one remote cluster member: health state plus
+// the HTTP plumbing for forwarding requests and replicating metadata.
+//
+// Peers start out healthy (optimistic): a cluster must route correctly
+// before the first health-check tick, and a wrong guess self-corrects — the
+// first failed forward marks the peer down and recomputes ownership.
+type Peer struct {
+	member Member
+	client *http.Client
+
+	down     atomic.Bool
+	mu       sync.Mutex // guards lastErr, lastCheck
+	lastErr  string
+	lastSeen time.Time
+}
+
+func newPeer(m Member, client *http.Client) *Peer {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Peer{member: m, client: client}
+}
+
+// Member returns the peer's identity.
+func (p *Peer) Member() Member { return p.member }
+
+// Healthy reports whether the peer is currently believed reachable.
+func (p *Peer) Healthy() bool { return !p.down.Load() }
+
+// LastError returns the most recent transport or health-check failure (empty
+// when none) and when the peer last answered a check.
+func (p *Peer) LastError() (string, time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastErr, p.lastSeen
+}
+
+// MarkUnhealthy records a failed interaction; ownership recomputes among the
+// remaining healthy members until a health check brings the peer back.
+func (p *Peer) MarkUnhealthy(err error) {
+	p.down.Store(true)
+	p.mu.Lock()
+	p.lastErr = err.Error()
+	p.mu.Unlock()
+}
+
+// Check probes the peer's /healthz and updates its health state.
+func (p *Peer) Check(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.member.URL+"/healthz", nil)
+	if err != nil {
+		p.MarkUnhealthy(err)
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.MarkUnhealthy(err)
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("cluster: peer %s healthz: HTTP %d", p.member.ID, resp.StatusCode)
+		p.MarkUnhealthy(err)
+		return err
+	}
+	p.down.Store(false)
+	p.mu.Lock()
+	p.lastErr = ""
+	p.lastSeen = time.Now()
+	p.mu.Unlock()
+	return nil
+}
+
+// Forward proxies r (with the already-buffered body) to the peer and copies
+// the peer's response — status, headers, body — back to w. It returns an
+// error only when nothing was written to w yet (transport failure), so the
+// caller can safely fall through to local handling or another member.
+func (p *Peer) Forward(w http.ResponseWriter, r *http.Request, from string, body []byte) error {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.member.URL+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(ForwardHeader, from)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+// PostRaw posts a pre-encoded JSON body to the peer at path with the
+// forwarded marker set — the metadata-replication path (dataset and designer
+// creates fan out to every peer so any node can serve, or rebuild, any
+// designer). A non-2xx status is not an error: replicating a create to a
+// peer that already has the id answers 409, which is the desired idempotent
+// outcome.
+func (p *Peer) PostRaw(ctx context.Context, path, from string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.member.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, from)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// StatusError is a non-2xx answer from a peer that was reachable: an
+// application-level response (404 for an id the peer lost, 503 while
+// building), NOT a peer failure — callers must not mark the peer unhealthy
+// for it.
+type StatusError struct {
+	Peer string
+	Path string
+	Code int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cluster: peer %s %s: HTTP %d", e.Peer, e.Path, e.Code)
+}
+
+// GetJSON fetches path from the peer and decodes the JSON response into out,
+// reporting non-2xx statuses as *StatusError. Used to poll a remote owner's
+// designer status.
+func (p *Peer) GetJSON(ctx context.Context, path, from string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.member.URL+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(ForwardHeader, from)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return &StatusError{Peer: p.member.ID, Path: path, Code: resp.StatusCode}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

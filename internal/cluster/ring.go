@@ -1,0 +1,116 @@
+// Package cluster is the shard layer over internal/service: a rendezvous
+// (highest-random-weight) hash ring that maps designer names onto cluster
+// members, and a Router that owns this node's in-process shard registries
+// and the clients for its remote fairrankd peers.
+//
+// Rendezvous hashing gives the two properties the registry shard layer
+// needs without any coordination state:
+//
+//   - Determinism: every node computes the same owner for a name from the
+//     member list alone, so any node can accept any request and route it.
+//   - Minimal migration: adding or removing one member only moves the names
+//     that member wins (1/m of the keyspace); everything else keeps its
+//     owner, so a fleet change never triggers a cluster-wide rebuild storm.
+//
+// Like internal/service, the package is deliberately independent of the
+// public fairrank package (which wraps it), so ring and routing behavior can
+// be tested without dragging the engines along.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Member is one participant of the ring: a node of the cluster, or — for the
+// in-process shard ring — one local shard.
+type Member struct {
+	// ID names the member; ownership is a pure function of (ID, key).
+	ID string `json:"id"`
+	// URL is the member's HTTP base URL ("http://host:port"); empty for the
+	// local node and for in-process shard members.
+	URL string `json:"url,omitempty"`
+}
+
+// Ring is an immutable rendezvous-hash ring over a fixed member set.
+// Methods are safe for concurrent use.
+type Ring struct {
+	members []Member // sorted by ID (the score tie-break order)
+}
+
+// NewRing returns a ring over the given members. Member IDs must be
+// non-empty and unique.
+func NewRing(members []Member) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sorted := append([]Member(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, m := range sorted {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: member with empty id")
+		}
+		if i > 0 && sorted[i-1].ID == m.ID {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+	}
+	return &Ring{members: sorted}, nil
+}
+
+// Members returns the ring's members sorted by ID.
+func (r *Ring) Members() []Member { return append([]Member(nil), r.members...) }
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.members) }
+
+// score is the rendezvous weight of member for key: the FNV-1a 64 hashes of
+// the two strings, combined and driven through a splitmix64-style finalizer.
+// Plain FNV over the concatenation is NOT enough — ids that differ only in a
+// trailing digit ("shard-0", "shard-1", …) leave correlated hash states, and
+// the correlation survives the shared key suffix, starving some members
+// entirely; the multiply-xor-shift avalanche decorrelates them. Highest
+// score wins; ties (vanishingly rare) break toward the lexicographically
+// smaller id via the sorted member order.
+func score(memberID, key string) uint64 {
+	hm := fnv.New64a()
+	hm.Write([]byte(memberID))
+	hk := fnv.New64a()
+	hk.Write([]byte(key))
+	x := hm.Sum64() ^ (hk.Sum64() * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the member that owns key.
+func (r *Ring) Owner(key string) Member {
+	m, _ := r.OwnerFunc(key, nil)
+	return m
+}
+
+// OwnerFunc returns the highest-scoring member for key among those accepted
+// by eligible (nil accepts all). ok is false when no member is eligible.
+// Because scores are independent per member, filtering members re-ranks the
+// survivors exactly as a ring built without the filtered members would —
+// this is what makes health-based failover deterministic across nodes that
+// share a health view.
+func (r *Ring) OwnerFunc(key string, eligible func(Member) bool) (Member, bool) {
+	var (
+		best      Member
+		bestScore uint64
+		found     bool
+	)
+	for _, m := range r.members {
+		if eligible != nil && !eligible(m) {
+			continue
+		}
+		if s := score(m.ID, key); !found || s > bestScore {
+			best, bestScore, found = m, s, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"fairrank/internal/service"
+)
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// NodeID names this node on the ring. Defaults to "node-0".
+	NodeID string
+	// Shards is the number of in-process shard registries. Defaults to 1.
+	// Shards partition the designer namespace locally, so build storms and
+	// metric rollups split along the same boundaries a multi-node fleet
+	// would use.
+	Shards int
+	// Peers are the remote fairrankd nodes (ID + base URL). The local node
+	// is added to the ring automatically and must not appear here.
+	Peers []Member
+	// Client is the HTTP client used for forwarding and replication. The
+	// default has no overall timeout (a forwarded batch against a slow
+	// engine may legitimately run long; the inbound request's context
+	// bounds it) but does bound dialing and response-header wait, so a
+	// black-holed peer fails the forward — and gets marked unhealthy —
+	// instead of hanging the caller forever.
+	Client *http.Client
+}
+
+// Router owns this node's shard registries and routes designer names: first
+// across the node ring (self + peers, healthy members only), then — for
+// locally owned names — across the in-process shard ring.
+type Router struct {
+	self      Member
+	nodeRing  *Ring
+	shardRing *Ring
+	shardIdx  map[string]int // shard ring member id → index into shards
+	shards    []*service.Registry
+	peers     map[string]*Peer
+	client    *http.Client
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+}
+
+// NewRouter builds a router from the config.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.NodeID == "" {
+		cfg.NodeID = "node-0"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	rt := &Router{
+		self:   Member{ID: cfg.NodeID},
+		client: cfg.Client,
+		stopc:  make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 60 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		}}
+	}
+	nodeMembers := []Member{rt.self}
+	rt.peers = make(map[string]*Peer, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", p.ID)
+		}
+		if p.ID == cfg.NodeID {
+			return nil, fmt.Errorf("cluster: peer %q collides with this node's id", p.ID)
+		}
+		nodeMembers = append(nodeMembers, p)
+		rt.peers[p.ID] = newPeer(p, rt.client)
+	}
+	var err error
+	if rt.nodeRing, err = NewRing(nodeMembers); err != nil {
+		return nil, err
+	}
+	shardMembers := make([]Member, cfg.Shards)
+	rt.shards = make([]*service.Registry, cfg.Shards)
+	rt.shardIdx = make(map[string]int, cfg.Shards)
+	for i := range shardMembers {
+		shardMembers[i] = Member{ID: fmt.Sprintf("shard-%d", i)}
+		rt.shardIdx[shardMembers[i].ID] = i
+		rt.shards[i] = service.NewRegistry()
+	}
+	if rt.shardRing, err = NewRing(shardMembers); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// NodeID returns this node's ring id.
+func (rt *Router) NodeID() string { return rt.self.ID }
+
+// Shards returns the local shard registries in index order.
+func (rt *Router) Shards() []*service.Registry { return rt.shards }
+
+// ShardFor returns the local shard that holds name, by rendezvous over the
+// shard labels — stable for a given shard count, independent of the node.
+func (rt *Router) ShardFor(name string) (int, *service.Registry) {
+	idx := rt.shardIdx[rt.shardRing.Owner(name).ID]
+	return idx, rt.shards[idx]
+}
+
+// memberHealthy reports ring eligibility: the local node is always healthy,
+// peers by their last known state.
+func (rt *Router) memberHealthy(m Member) bool {
+	if m.ID == rt.self.ID {
+		return true
+	}
+	p, ok := rt.peers[m.ID]
+	return ok && p.Healthy()
+}
+
+// Owner returns the healthy member owning name. The local node is always
+// eligible, so an owner always exists: with every peer down, everything
+// fails over to self (rebuild-on-owner).
+func (rt *Router) Owner(name string) Member {
+	m, _ := rt.nodeRing.OwnerFunc(name, rt.memberHealthy)
+	return m
+}
+
+// OwnedLocally reports whether this node currently owns name.
+func (rt *Router) OwnedLocally(name string) bool { return rt.Owner(name).ID == rt.self.ID }
+
+// RemoteOwner returns the healthy remote peer owning name, or false when the
+// name is locally owned.
+func (rt *Router) RemoteOwner(name string) (*Peer, bool) {
+	m := rt.Owner(name)
+	if m.ID == rt.self.ID {
+		return nil, false
+	}
+	return rt.peers[m.ID], true
+}
+
+// Peers returns the remote peers sorted by ring order (excluding self).
+func (rt *Router) Peers() []*Peer {
+	out := make([]*Peer, 0, len(rt.peers))
+	for _, m := range rt.nodeRing.Members() {
+		if p, ok := rt.peers[m.ID]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Members returns the full node ring (self included) sorted by id.
+func (rt *Router) Members() []Member { return rt.nodeRing.Members() }
+
+// SingleNode reports whether the ring has no remote peers, letting the HTTP
+// layer skip ownership checks entirely.
+func (rt *Router) SingleNode() bool { return len(rt.peers) == 0 }
+
+// StartHealth launches the background peer health loop, probing every peer's
+// /healthz each interval. It is a no-op without peers or with a
+// non-positive interval. Close stops the loop.
+func (rt *Router) StartHealth(interval time.Duration) {
+	if interval <= 0 || len(rt.peers) == 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rt.stopc:
+				return
+			case <-ticker.C:
+				for _, p := range rt.peers {
+					ctx, cancel := context.WithTimeout(context.Background(), interval)
+					p.Check(ctx) //nolint:errcheck // failures are recorded on the peer itself
+					cancel()
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the health loop. Safe to call multiple times.
+func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stopc) }) }

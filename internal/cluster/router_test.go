@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRouterDefaults(t *testing.T) {
+	rt, err := NewRouter(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NodeID() != "node-0" {
+		t.Errorf("default node id = %q", rt.NodeID())
+	}
+	if len(rt.Shards()) != 1 {
+		t.Errorf("default shard count = %d", len(rt.Shards()))
+	}
+	if !rt.SingleNode() || !rt.OwnedLocally("anything") {
+		t.Error("peerless router must own every name")
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := NewRouter(Config{Peers: []Member{{ID: "p"}}}); err == nil {
+		t.Error("peer without URL should error")
+	}
+	if _, err := NewRouter(Config{NodeID: "n", Peers: []Member{{ID: "n", URL: "http://x"}}}); err == nil {
+		t.Error("peer colliding with self should error")
+	}
+	if _, err := NewRouter(Config{Peers: []Member{
+		{ID: "p", URL: "http://x"}, {ID: "p", URL: "http://y"},
+	}}); err == nil {
+		t.Error("duplicate peer ids should error")
+	}
+}
+
+// The shard assignment must be a pure function of (shard count, name):
+// stable across router instances and spreading names over every shard.
+func TestRouterShardForDeterministicAndSpread(t *testing.T) {
+	a, err := NewRouter(Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRouter(Config{NodeID: "other", Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("designer-%d", i)
+		ai, areg := a.ShardFor(name)
+		bi, _ := b.ShardFor(name)
+		if ai != bi {
+			t.Fatalf("name %q: shard %d on one router, %d on another", name, ai, bi)
+		}
+		if areg != a.Shards()[ai] {
+			t.Fatalf("ShardFor returned a registry that is not shard %d", ai)
+		}
+		counts[ai]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received no names: %v", i, counts)
+		}
+	}
+}
+
+// Marking a peer unhealthy must fail its names over — deterministically, to
+// the member a ring without the peer would pick — and a successful health
+// check must restore the original ownership.
+func TestRouterFailoverAndRecovery(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer healthy.Close()
+	rt, err := NewRouter(Config{NodeID: "node-0", Peers: []Member{{ID: "node-1", URL: healthy.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := rt.Peers()[0]
+	var name string
+	for i := 0; ; i++ {
+		name = fmt.Sprintf("designer-%d", i)
+		if rt.Owner(name).ID == "node-1" {
+			break
+		}
+	}
+	if rt.OwnedLocally(name) {
+		t.Fatal("fixture broken: name should be peer-owned")
+	}
+	peer.MarkUnhealthy(errors.New("connection refused"))
+	if !rt.OwnedLocally(name) {
+		t.Fatal("peer down: name must fail over to the local node")
+	}
+	if msg, _ := peer.LastError(); msg == "" {
+		t.Error("failed peer should record its last error")
+	}
+	if err := peer.Check(t.Context()); err != nil {
+		t.Fatalf("health check against live server: %v", err)
+	}
+	if rt.OwnedLocally(name) {
+		t.Fatal("recovered peer must take its names back")
+	}
+}
+
+// The health loop must flip an unreachable peer to unhealthy on its own.
+func TestRouterHealthLoop(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	rt, err := NewRouter(Config{Peers: []Member{{ID: "node-1", URL: dead.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.StartHealth(10 * time.Millisecond)
+	defer rt.Close()
+	peer := rt.Peers()[0]
+	deadline := time.Now().Add(5 * time.Second)
+	for peer.Healthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never marked a 503-ing peer unhealthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -74,6 +74,15 @@ func cacheKey(w []float64) (key string, norm float64, ok bool) {
 	return string(buf), norm, true
 }
 
+// len returns the number of memoized answers. SuggestBatch uses it as a
+// fast path: an empty cache cannot hit, so bulk batches skip per-slot key
+// construction entirely until single-query traffic has populated the table.
+func (c *suggestCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
 func (c *suggestCache) get(key string) (cachedAnswer, bool) {
 	c.mu.RLock()
 	a, ok := c.m[key]

@@ -31,8 +31,8 @@ type Metrics struct {
 	batches      atomic.Int64 // SuggestBatch calls served
 	batchQueries atomic.Int64 // queries served through batches
 	errors       atomic.Int64 // queries that returned an error
-	cacheHits    atomic.Int64 // Suggest calls answered from the memo cache
-	cacheMisses  atomic.Int64 // cacheable Suggest calls that went to the engine
+	cacheHits    atomic.Int64 // Suggest calls and batch slots answered from the memo cache
+	cacheMisses  atomic.Int64 // cacheable single-query Suggest calls that went to the engine
 	latencySum   atomic.Int64 // nanoseconds, per-query (batch time amortized)
 	latencyCount atomic.Int64
 	buckets      [len(bucketBounds) + 1]atomic.Int64
@@ -40,6 +40,10 @@ type Metrics struct {
 
 // recordCacheHit counts one Suggest answered from the memo cache.
 func (m *Metrics) recordCacheHit() { m.cacheHits.Add(1) }
+
+// recordCacheHits counts n batch slots answered from the memo cache — batch
+// hits land in the same cache_hits counter as single-query hits.
+func (m *Metrics) recordCacheHits(n int) { m.cacheHits.Add(int64(n)) }
 
 // recordCacheMiss counts one cacheable Suggest that had to ask the engine.
 func (m *Metrics) recordCacheMiss() { m.cacheMisses.Add(1) }
@@ -119,6 +123,42 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.LatencyBuckets = append(s.LatencyBuckets, Bucket{Le: le, Count: m.buckets[i].Load()})
 	}
 	return s
+}
+
+// Merge folds o into s: counters add, histograms add bar by bar (every
+// snapshot shares the fixed bucketBounds scale), and the mean recombines
+// weighted by observation counts — the per-shard rollup of a cluster status
+// endpoint.
+func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
+	sn, on := bucketTotal(s.LatencyBuckets), bucketTotal(o.LatencyBuckets)
+	if sn+on > 0 {
+		s.LatencyMeanNs = (s.LatencyMeanNs*sn + o.LatencyMeanNs*on) / (sn + on)
+	}
+	s.Queries += o.Queries
+	s.Batches += o.Batches
+	s.BatchQueries += o.BatchQueries
+	s.Errors += o.Errors
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	if len(s.LatencyBuckets) == 0 {
+		s.LatencyBuckets = append([]Bucket(nil), o.LatencyBuckets...)
+		return
+	}
+	for i := range s.LatencyBuckets {
+		if i < len(o.LatencyBuckets) {
+			s.LatencyBuckets[i].Count += o.LatencyBuckets[i].Count
+		}
+	}
+}
+
+// bucketTotal is the histogram's observation count: observe adds each query
+// to exactly one bar, so the bar sum equals the latency count.
+func bucketTotal(buckets []Bucket) int64 {
+	var n int64
+	for _, b := range buckets {
+		n += b.Count
+	}
+	return n
 }
 
 func formatBound(d time.Duration) string {

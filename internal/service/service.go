@@ -62,6 +62,10 @@ const (
 	StatusReady      Status = "ready"
 	StatusRebuilding Status = "rebuilding"
 	StatusFailed     Status = "failed"
+	// StatusRemote is never held by a registry entry: shard layers report it
+	// for designers whose spec is known locally but whose index lives on
+	// another cluster member.
+	StatusRemote Status = "remote"
 )
 
 // ErrNotReady is returned by query methods while the entry's first build is
@@ -189,6 +193,40 @@ func (r *Registry) Range(f func(*Entry) bool) {
 			return
 		}
 	}
+}
+
+// Len returns the number of registered entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// RegistryStats is an aggregate snapshot of one registry — the per-shard
+// rollup a cluster status endpoint reports, so operators see where designers
+// and traffic landed without walking every entry.
+type RegistryStats struct {
+	Designers int             `json:"designers"`
+	ByStatus  map[Status]int  `json:"by_status,omitempty"`
+	Rebuilds  int             `json:"rebuilds"`
+	Totals    MetricsSnapshot `json:"totals"`
+}
+
+// Stats aggregates status counts and metrics across the registry's entries.
+func (r *Registry) Stats() RegistryStats {
+	stats := RegistryStats{ByStatus: make(map[Status]int)}
+	r.Range(func(e *Entry) bool {
+		info := e.Status()
+		stats.Designers++
+		stats.ByStatus[info.Status]++
+		stats.Rebuilds += info.Rebuilds
+		stats.Totals.Merge(info.Metrics)
+		return true
+	})
+	if len(stats.ByStatus) == 0 {
+		stats.ByStatus = nil
+	}
+	return stats
 }
 
 // SetBuild replaces the entry's build function; rebuilds started after the
@@ -340,24 +378,65 @@ func (e *Entry) Suggest(w []float64) (*Suggestion, error) {
 	return s, err
 }
 
-// SuggestBatch answers a batch against the current engine. The histogram
-// records the batch's amortized per-query latency, keeping single and batch
-// traffic comparable on one scale.
+// SuggestBatch answers a batch against the current engine, after consulting
+// the Suggest memo cache per unit direction: slots whose direction a design
+// loop already asked about are answered from the cache (counted in
+// cache_hits), and only the misses reach the engine kernel. The consult is
+// read-only — bulk batches do not insert, because flooding the first-come
+// retention table with thousands of one-off directions would evict nothing
+// but starve the interactive loop's hot set. The histogram records the
+// batch's amortized per-query latency, keeping single and batch traffic
+// comparable on one scale.
 func (e *Entry) SuggestBatch(ws [][]float64) ([]Result, error) {
-	eng, err := e.Engine()
-	if err != nil {
-		return nil, err
-	}
 	start := time.Now()
-	results := eng.SuggestBatch(ws)
-	elapsed := time.Since(start)
+	// Same swap protocol as Suggest: the cache is loaded before the engine,
+	// so a swap between the loads can only pair a new engine with a dead
+	// cache — never a stale hit from the new generation's table.
+	cache := e.cache.Load()
+	results := make([]Result, len(ws))
+	misses := ws
+	var missIdx []int // nil: misses are ws verbatim (identity mapping)
+	hits := 0
+	if cache.len() > 0 {
+		misses = misses[:0:0]
+		missIdx = make([]int, 0, len(ws))
+		for i, w := range ws {
+			if key, norm, ok := cacheKey(w); ok {
+				if a, hit := cache.get(key); hit {
+					results[i] = Result{Suggestion: a.materialize(w, norm)}
+					hits++
+					continue
+				}
+			}
+			misses = append(misses, w)
+			missIdx = append(missIdx, i)
+		}
+		e.metrics.recordCacheHits(hits)
+	}
 	failed := 0
-	for _, res := range results {
-		if res.Err != nil {
-			failed++
+	if len(misses) > 0 || e.engine.Load() == nil {
+		// A fully-hit batch skips the engine; a non-empty cache implies an
+		// engine has served, so the readiness error below only fires on the
+		// empty-cache path — exactly the pre-cache behavior.
+		eng, err := e.Engine()
+		if err != nil {
+			return nil, err
+		}
+		sub := eng.SuggestBatch(misses)
+		if missIdx == nil {
+			copy(results, sub)
+		} else {
+			for j, res := range sub {
+				results[missIdx[j]] = res
+			}
+		}
+		for _, res := range sub {
+			if res.Err != nil {
+				failed++
+			}
 		}
 	}
-	e.metrics.recordBatch(len(ws), elapsed, failed)
+	e.metrics.recordBatch(len(ws), time.Since(start), failed)
 	return results, nil
 }
 

@@ -245,6 +245,16 @@ func (c *countingEngine) Suggest(w []float64) (*Suggestion, error) {
 	return &Suggestion{Weights: append([]float64(nil), w...), Distance: 0.25}, nil
 }
 
+// SuggestBatch counts per slot, so tests can observe which batch slots the
+// cache consult kept away from the engine kernel.
+func (c *countingEngine) SuggestBatch(ws [][]float64) []Result {
+	out := make([]Result, len(ws))
+	for i, w := range ws {
+		out[i].Suggestion, out[i].Err = c.Suggest(w)
+	}
+	return out
+}
+
 // The cache tier: repeated Suggest queries to the same direction are served
 // from the memo cache (hit/miss counters in the metrics), scaled queries on
 // the same ray hit too, and an engine swap invalidates everything.
@@ -319,6 +329,103 @@ func TestSuggestCache(t *testing.T) {
 	}
 	if rebuilt.calls != 1 {
 		t.Fatalf("rebuilt engine calls = %d, want 1 (swap must invalidate the cache)", rebuilt.calls)
+	}
+}
+
+// SuggestBatch consults the Suggest memo cache per unit direction before
+// hitting the engine kernel: known directions answer from the cache (counted
+// in cache_hits), only misses reach the engine, and the consult is read-only
+// so bulk batches never pollute the first-come table.
+func TestSuggestBatchConsultsCache(t *testing.T) {
+	r := NewRegistry()
+	eng := &countingEngine{fakeEngine: fakeEngine{mode: "2d"}}
+	entry, err := r.CreateReady("d", eng, func() (Engine, error) { return eng, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, q2 := []float64{0.6, 0.8}, []float64{1, 0}
+	// Empty cache: every slot reaches the engine, and nothing is inserted —
+	// running the same batch twice costs the engine twice.
+	for rep := 0; rep < 2; rep++ {
+		if _, err := entry.SuggestBatch([][]float64{q1, q2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.calls != 4 {
+		t.Fatalf("engine slots after two cold batches = %d, want 4 (batch misses must not insert)", eng.calls)
+	}
+	// The single-query path populates the cache for q1's direction…
+	want, err := entry.Suggest(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.calls != 5 {
+		t.Fatalf("engine calls after Suggest = %d, want 5", eng.calls)
+	}
+	// …and the next batch hits for that direction — exact repeat and scaled
+	// ray alike — while the unknown direction still reaches the engine.
+	res, err := entry.SuggestBatch([][]float64{q1, {1.2, 1.6}, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.calls != 6 {
+		t.Fatalf("engine slots after warm batch = %d, want 6 (two hits, one miss)", eng.calls)
+	}
+	for i := range want.Weights {
+		if res[0].Suggestion.Weights[i] != want.Weights[i] {
+			t.Fatalf("batch hit must be bit-identical to the cached answer: %v vs %v",
+				res[0].Suggestion.Weights, want.Weights)
+		}
+		if got, w := res[1].Suggestion.Weights[i], 2*want.Weights[i]; got < w-1e-9 || got > w+1e-9 {
+			t.Fatalf("scaled-ray batch hit = %v, want 2x %v", res[1].Suggestion.Weights, want.Weights)
+		}
+	}
+	if res[2].Suggestion == nil || res[2].Err != nil {
+		t.Fatalf("miss slot = %+v", res[2])
+	}
+	m := entry.Status().Metrics
+	if m.CacheHits != 2 {
+		t.Fatalf("cache_hits = %d, want 2 (batch hits count in the existing counter)", m.CacheHits)
+	}
+	if m.Batches != 3 || m.BatchQueries != 7 {
+		t.Fatalf("batch counters = %d batches / %d queries, want 3/7", m.Batches, m.BatchQueries)
+	}
+}
+
+// Registry-level enumeration and the per-shard metrics rollup: Stats must
+// aggregate entry metrics (Merge recombining histograms and means) without
+// disturbing them.
+func TestRegistryLenAndStats(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 {
+		t.Fatalf("empty registry Len = %d", r.Len())
+	}
+	a, err := r.CreateReady("a", &fakeEngine{tag: 1, mode: "2d"}, func() (Engine, error) { return &fakeEngine{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.CreateReady("b", &fakeEngine{tag: 2, mode: "exact"}, func() (Engine, error) { return &fakeEngine{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if _, err := a.Suggest([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SuggestBatch([][]float64{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Stats()
+	if stats.Designers != 2 || stats.ByStatus[StatusReady] != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Totals.Queries != 1 || stats.Totals.BatchQueries != 2 || stats.Totals.Batches != 1 {
+		t.Fatalf("rolled-up totals = %+v", stats.Totals)
+	}
+	if got := bucketTotal(stats.Totals.LatencyBuckets); got != 3 {
+		t.Fatalf("merged histogram holds %d observations, want 3", got)
 	}
 }
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: boot a 2-shard fairrankd on a temp data dir, drive
+# the JSON API over real HTTP (dataset create → designer build → suggest →
+# cluster status), then shut it down cleanly with SIGTERM and require exit
+# code 0. CI runs this as its own job; it also works locally:
+#
+#   ./scripts/smoke.sh [port]
+set -euo pipefail
+
+port="${1:-18080}"
+base="http://127.0.0.1:${port}"
+workdir="$(mktemp -d)"
+bin="${workdir}/fairrankd"
+data="${workdir}/data"
+
+cleanup() {
+  if [[ -n "${pid:-}" ]] && kill -0 "$pid" 2>/dev/null; then
+    kill -9 "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building fairrankd"
+go build -o "$bin" ./cmd/fairrankd
+
+echo "== starting fairrankd with 2 in-process shards on :${port}"
+"$bin" -addr "127.0.0.1:${port}" -shards 2 -data "$data" &
+pid=$!
+
+for _ in $(seq 1 100); do
+  if curl -fs "${base}/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "fairrankd exited before becoming healthy" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -fs "${base}/healthz" | grep -q '"ok"'
+echo "== healthz ok"
+
+# A small 2-attribute dataset where the protected group scores high, so fair
+# functions exist and suggest has an easy answer.
+curl -fs -X POST "${base}/v1/datasets" -H 'Content-Type: application/json' -d '{
+  "id": "smoke",
+  "dataset": {
+    "scoring": ["merit", "impact"],
+    "rows": [[1.00, 0.91], [0.93, 1.02], [0.88, 0.97], [0.96, 0.84],
+             [0.41, 0.33], [0.28, 0.44], [0.36, 0.21], [0.19, 0.30]],
+    "types": [{"name": "group",
+               "labels": ["protected", "other"],
+               "values": [0, 0, 0, 0, 1, 1, 1, 1]}]
+  }
+}' | grep -q '"id":"smoke"'
+echo "== dataset created"
+
+curl -fs -X POST "${base}/v1/designers?wait=true" -H 'Content-Type: application/json' -d '{
+  "id": "smoke-designer",
+  "spec": {
+    "dataset": "smoke",
+    "oracle": {"kind": "min_share", "attr": "group", "group": "protected",
+               "top_frac": 0.5, "share": 0.25},
+    "config": {"mode": "2d"}
+  }
+}' | grep -q '"status":"ready"'
+echo "== designer built and ready"
+
+answer="$(curl -fs -X POST "${base}/v1/designers/smoke-designer/suggest" \
+  -H 'Content-Type: application/json' -d '{"weights": [0.5, 0.5]}')"
+echo "   suggest answer: ${answer}"
+echo "$answer" | grep -q '"distance"'
+echo "== suggest answered"
+
+cluster="$(curl -fs "${base}/cluster")"
+echo "$cluster" | grep -q '"node_id":"node-0"'
+[[ "$(echo "$cluster" | jq '.shards | length')" == "2" ]]
+echo "== cluster status reports 2 shards"
+
+echo "== shutting down (SIGTERM)"
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+if [[ $status -ne 0 ]]; then
+  echo "fairrankd exited with status ${status}" >&2
+  exit 1
+fi
+[[ -f "${data}/smoke.dataset.json" ]] || { echo "dataset not persisted" >&2; exit 1; }
+[[ -f "${data}/smoke-designer.index" ]] || { echo "index not persisted" >&2; exit 1; }
+echo "== clean shutdown, state persisted: smoke test passed"

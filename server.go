@@ -14,20 +14,27 @@ import (
 	"sync"
 	"time"
 
+	"fairrank/internal/cluster"
 	"fairrank/internal/service"
 )
 
-// Server is the query-serving subsystem as a public API: a registry of named
-// designers over named datasets, background index builds with status
-// reporting, single and batch suggest paths, drift-triggered
+// Server is the query-serving subsystem as a public API: a sharded registry
+// of named designers over named datasets, background index builds with
+// status reporting, single and batch suggest paths, drift-triggered
 // rebuild-and-swap, per-designer metrics, and index persistence to a data
 // directory. cmd/fairrankd wraps it in an http.Server; embedders can mount
 // Handler() wherever they like or drive the typed methods directly.
 //
+// Designers are partitioned by a rendezvous-hash ring (internal/cluster):
+// across the in-process shard registries always, and — when ClusterConfig
+// names peers — across a fleet of fairrankd nodes, with the HTTP layer
+// forwarding any request to the designer's owner. Answers are byte-identical
+// regardless of shard count or which node received the request.
+//
 // All methods are safe for concurrent use; the suggest path reads the
 // serving index through one atomic load, so queries never wait on builds.
 type Server struct {
-	reg *service.Registry
+	router *cluster.Router
 
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
@@ -37,17 +44,76 @@ type Server struct {
 	start time.Time
 }
 
-// NewServer returns an empty server. Call LoadDir to restore persisted state.
+// ClusterPeer identifies one remote fairrankd node of a cluster.
+type ClusterPeer struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// ClusterConfig configures the shard layer of a Server. The zero value is a
+// single node with one in-process shard — exactly the pre-cluster server.
+type ClusterConfig struct {
+	// NodeID names this node on the ring (default "node-0"). Every node of
+	// one cluster must use a distinct id, and all nodes must agree on the
+	// full membership (their own id plus Peers), or they will compute
+	// different owners.
+	NodeID string
+	// Shards is the number of in-process shard registries (default 1).
+	Shards int
+	// Peers are the other nodes of the cluster.
+	Peers []ClusterPeer
+	// HealthInterval is the period of the background peer health probe;
+	// 0 disables the loop (peers are then marked unhealthy only by failed
+	// forwards, and never recover).
+	HealthInterval time.Duration
+}
+
+// NewServer returns an empty single-node server. Call LoadDir to restore
+// persisted state.
 func NewServer() *Server {
+	s, err := NewClusterServer(ClusterConfig{})
+	if err != nil {
+		// Unreachable: the zero config is always valid.
+		panic(err)
+	}
+	return s
+}
+
+// NewClusterServer returns an empty server participating in the configured
+// cluster. Call Close to stop its background health loop.
+func NewClusterServer(cfg ClusterConfig) (*Server, error) {
+	peers := make([]cluster.Member, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		peers[i] = cluster.Member{ID: p.ID, URL: p.URL}
+	}
+	router, err := cluster.NewRouter(cluster.Config{
+		NodeID: cfg.NodeID,
+		Shards: cfg.Shards,
+		Peers:  peers,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		reg:      service.NewRegistry(),
+		router:   router,
 		datasets: make(map[string]*Dataset),
 		specs:    make(map[string]DesignerSpec),
 		start:    time.Now(),
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
-	return s
+	router.StartHealth(cfg.HealthInterval)
+	return s, nil
+}
+
+// Close stops the server's background peer health loop. Serving state is
+// untouched; in-flight builds finish on their own goroutines.
+func (s *Server) Close() { s.router.Close() }
+
+// shard returns the in-process shard registry that holds id.
+func (s *Server) shard(id string) *service.Registry {
+	_, reg := s.router.ShardFor(id)
+	return reg
 }
 
 // ErrUnknownID is returned (wrapped, naming the id) when a dataset or
@@ -140,9 +206,12 @@ func (s *Server) Dataset(id string) (*Dataset, bool) {
 	return ds, ok
 }
 
-// CreateDesigner registers a designer and starts its offline build in the
-// background; watch it through DesignerStatus or WaitReady. An engine
-// loaded from a persisted index (LoadDir) skips the build.
+// CreateDesigner registers a designer and — when this node owns it on the
+// cluster ring — starts its offline build in the background; watch it
+// through DesignerStatus or WaitReady. An engine loaded from a persisted
+// index (LoadDir) skips the build. On a non-owner node the spec is stored
+// dormant: the node can answer by forwarding (HTTP layer) and can build the
+// index itself if ownership ever fails over to it.
 func (s *Server) CreateDesigner(id string, spec DesignerSpec) error {
 	if err := validateID(id); err != nil {
 		return err
@@ -151,13 +220,22 @@ func (s *Server) CreateDesigner(id string, spec DesignerSpec) error {
 	if err != nil {
 		return err
 	}
-	// The registry is the authority on name collisions; an existing
+	if !s.router.OwnedLocally(id) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, dup := s.specs[id]; dup {
+			return fmt.Errorf("%w: designer %q", ErrDuplicateID, id)
+		}
+		s.specs[id] = spec
+		return nil
+	}
+	// The shard registry is the authority on name collisions; an existing
 	// designer's spec must survive a failed duplicate create untouched.
 	s.mu.Lock()
 	old, had := s.specs[id]
 	s.specs[id] = spec
 	s.mu.Unlock()
-	if _, err := s.reg.Create(id, build); err != nil {
+	if _, err := s.shard(id).Create(id, build); err != nil {
 		s.mu.Lock()
 		if had {
 			s.specs[id] = old
@@ -194,30 +272,79 @@ func (s *Server) builder(spec DesignerSpec) (service.BuildFunc, error) {
 	}, nil
 }
 
+// localEntry returns the shard registry entry serving id, activating a
+// dormant spec when none exists yet: this is the rebuild-on-owner failover —
+// a node that stored a designer's spec as a non-owner starts building the
+// index the moment query traffic for it lands here (the owner died, or the
+// cluster views disagree and someone must answer). The first queries return
+// ErrNotReady (HTTP 503) until the build swaps in.
+func (s *Server) localEntry(id string) (*service.Entry, error) {
+	reg := s.shard(id)
+	if entry, ok := reg.Get(id); ok {
+		return entry, nil
+	}
+	s.mu.RLock()
+	spec, known := s.specs[id]
+	s.mu.RUnlock()
+	if !known {
+		return nil, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+	}
+	build, err := s.builder(spec)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := reg.Create(id, build)
+	if errors.Is(err, service.ErrDuplicateName) {
+		// Lost an activation race; the winner's entry serves.
+		if entry, ok := reg.Get(id); ok {
+			return entry, nil
+		}
+	}
+	return entry, err
+}
+
 // WaitReady blocks until the designer's in-flight build (if any) finishes,
-// returning nil once an index is serving.
+// returning nil once an index is serving. On a non-owner node this
+// activates a dormant designer (see localEntry).
 func (s *Server) WaitReady(ctx context.Context, id string) error {
-	entry, ok := s.reg.Get(id)
-	if !ok {
-		return fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+	entry, err := s.localEntry(id)
+	if err != nil {
+		return err
 	}
 	return entry.WaitReady(ctx)
 }
 
-// DesignerStatus reports a designer's lifecycle state and metrics.
+// DesignerStatus reports a designer's lifecycle state and metrics. A
+// designer whose spec is known here but which this node does NOT own
+// reports StatusRemote — deliberately without starting a build, so metrics
+// scrapes never trigger index work for designers other members serve. A
+// dormant designer this node DOES own (ownership failed over before any
+// query arrived) is activated: building it is now this node's job, and
+// status polls — e.g. a peer relaying create?wait=true — must observe the
+// build progressing rather than "remote" forever.
 func (s *Server) DesignerStatus(id string) (service.StatusInfo, error) {
-	entry, ok := s.reg.Get(id)
-	if !ok {
+	if entry, ok := s.shard(id).Get(id); ok {
+		return entry.Status(), nil
+	}
+	s.mu.RLock()
+	_, known := s.specs[id]
+	s.mu.RUnlock()
+	if !known {
 		return service.StatusInfo{}, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
 	}
-	return entry.Status(), nil
+	if s.router.OwnedLocally(id) {
+		if entry, err := s.localEntry(id); err == nil {
+			return entry.Status(), nil
+		}
+	}
+	return service.StatusInfo{Name: id, Status: service.StatusRemote}, nil
 }
 
 // Suggest answers one design query against a designer's serving index.
 func (s *Server) Suggest(id string, w []float64) (*Suggestion, error) {
-	entry, ok := s.reg.Get(id)
-	if !ok {
-		return nil, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+	entry, err := s.localEntry(id)
+	if err != nil {
+		return nil, err
 	}
 	res, err := entry.Suggest(w)
 	if err != nil {
@@ -228,9 +355,9 @@ func (s *Server) Suggest(id string, w []float64) (*Suggestion, error) {
 
 // SuggestBatch answers many queries in one call; see Designer.SuggestBatch.
 func (s *Server) SuggestBatch(id string, ws [][]float64) ([]BatchResult, error) {
-	entry, ok := s.reg.Get(id)
-	if !ok {
-		return nil, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+	entry, err := s.localEntry(id)
+	if err != nil {
+		return nil, err
 	}
 	batch, err := entry.SuggestBatch(ws)
 	if err != nil {
@@ -265,9 +392,9 @@ type RevalidateResult struct {
 // background rebuild starts and the old index keeps serving until the new
 // one swaps in — the paper's §1 design loop as a serving-system operation.
 func (s *Server) Revalidate(id string, datasetID string) (RevalidateResult, error) {
-	entry, ok := s.reg.Get(id)
-	if !ok {
-		return RevalidateResult{}, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+	entry, err := s.localEntry(id)
+	if err != nil {
+		return RevalidateResult{}, err
 	}
 	s.mu.RLock()
 	spec, ok := s.specs[id]
@@ -331,15 +458,25 @@ func (s *Server) Revalidate(id string, datasetID string) (RevalidateResult, erro
 
 // Rebuild forces a background rebuild-and-swap of a designer's index.
 func (s *Server) Rebuild(id string) error {
-	entry, ok := s.reg.Get(id)
-	if !ok {
-		return fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+	entry, err := s.localEntry(id)
+	if err != nil {
+		return err
 	}
 	return entry.Rebuild()
 }
 
-// DesignerIDs returns the registered designer ids, sorted.
-func (s *Server) DesignerIDs() []string { return s.reg.Names() }
+// DesignerIDs returns every designer id known to this node — locally served
+// and remote-owned alike — sorted.
+func (s *Server) DesignerIDs() []string {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.specs))
+	for id := range s.specs {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
 
 // DatasetIDs returns the registered dataset ids, sorted.
 func (s *Server) DatasetIDs() []string {
@@ -354,9 +491,10 @@ func (s *Server) DatasetIDs() []string {
 }
 
 // SaveDir persists the server's state into dir: every dataset as JSON, every
-// designer's spec manifest, and — for designers whose build has finished —
-// the index stream itself, so the next startup serves without re-running the
-// offline phase.
+// known designer's spec manifest (remote-owned ones included, so a restarted
+// node can still route or fail over for them), and — for locally served
+// designers whose build has finished — the index stream itself, so the next
+// startup serves without re-running the offline phase.
 func (s *Server) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -367,30 +505,29 @@ func (s *Server) SaveDir(dir string) error {
 			return err
 		}
 	}
-	var firstErr error
-	s.reg.Range(func(entry *service.Entry) bool {
-		id := entry.Name()
+	for _, id := range s.DesignerIDs() {
 		s.mu.RLock()
 		spec, ok := s.specs[id]
 		s.mu.RUnlock()
 		if !ok {
-			return true
+			continue
 		}
 		if err := writeJSONFile(filepath.Join(dir, id+".designer.json"), spec); err != nil {
-			firstErr = err
-			return false
+			return err
+		}
+		entry, ok := s.shard(id).Get(id)
+		if !ok {
+			continue // dormant (remote-owned): the manifest alone suffices
 		}
 		eng, err := entry.Engine()
 		if err != nil {
-			return true // still building or failed: manifest alone triggers a rebuild on load
+			continue // still building or failed: manifest alone triggers a rebuild on load
 		}
 		if err := writeFileAtomic(filepath.Join(dir, id+".index"), eng.SaveIndex); err != nil {
-			firstErr = fmt.Errorf("fairrank: saving index of %q: %w", id, err)
-			return false
+			return fmt.Errorf("fairrank: saving index of %q: %w", id, err)
 		}
-		return true
-	})
-	return firstErr
+	}
+	return nil
 }
 
 // LoadDir restores SaveDir state: datasets first, then designers — from
@@ -437,9 +574,12 @@ func (s *Server) LoadDir(dir string) error {
 	return nil
 }
 
-// loadDesigner restores one designer: from its persisted index when the
-// stream loads cleanly against the dataset (fingerprint checked), otherwise
-// by scheduling a fresh background build.
+// loadDesigner restores one designer: from its persisted index when this
+// node owns it and the stream loads cleanly against the dataset
+// (fingerprint checked), otherwise by scheduling a fresh background build.
+// A designer owned by another cluster member is restored as a dormant spec
+// only — the owner serves it, and this node keeps the spec for routing and
+// failover.
 func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
 	build, err := s.builder(spec)
 	if err != nil {
@@ -448,6 +588,9 @@ func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
 	s.mu.Lock()
 	s.specs[id] = spec
 	s.mu.Unlock()
+	if !s.router.OwnedLocally(id) {
+		return nil
+	}
 	if f, err := os.Open(filepath.Join(dir, id+".index")); err == nil {
 		ds, _ := s.Dataset(spec.Dataset)
 		oracle, oerr := spec.Oracle.Build(ds)
@@ -457,13 +600,46 @@ func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
 		}
 		f.Close()
 		if oerr == nil {
-			_, rerr := s.reg.CreateReady(id, &designerEngine{d: d}, build)
+			_, rerr := s.shard(id).CreateReady(id, &designerEngine{d: d}, build)
 			return rerr
 		}
 		// Corrupt or mismatched index: fall through to a rebuild.
 	}
-	_, err = s.reg.Create(id, build)
+	_, err = s.shard(id).Create(id, build)
 	return err
+}
+
+// ClusterStatus reports this node's view of the cluster: ring membership
+// with health, which member owns each known designer, and a per-shard
+// metrics rollup — the body of GET /cluster.
+func (s *Server) ClusterStatus() ClusterStatus {
+	ids := s.DesignerIDs()
+	owned := make(map[string][]string) // member id → designer ids
+	for _, id := range ids {
+		owner := s.router.Owner(id).ID
+		owned[owner] = append(owned[owner], id)
+	}
+	status := ClusterStatus{NodeID: s.router.NodeID()}
+	for _, m := range s.router.Members() {
+		ms := MemberStatus{ID: m.ID, URL: m.URL, Self: m.ID == s.router.NodeID(),
+			Healthy: true, Designers: owned[m.ID]}
+		for _, p := range s.router.Peers() {
+			if p.Member().ID == m.ID {
+				ms.Healthy = p.Healthy()
+				ms.LastError, _ = p.LastError()
+				break
+			}
+		}
+		status.Members = append(status.Members, ms)
+	}
+	for i, reg := range s.router.Shards() {
+		status.Shards = append(status.Shards, ShardStatus{
+			Index:     i,
+			Designers: reg.Names(),
+			Stats:     reg.Stats(),
+		})
+	}
+	return status
 }
 
 // writeFileAtomic writes through a temp file and renames it into place, so

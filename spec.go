@@ -3,6 +3,8 @@ package fairrank
 import (
 	"errors"
 	"fmt"
+
+	"fairrank/internal/service"
 )
 
 // This file defines the declarative JSON specs the serving layer
@@ -185,4 +187,31 @@ type DesignerSpec struct {
 	Dataset string     `json:"dataset"`
 	Oracle  OracleSpec `json:"oracle"`
 	Config  ConfigSpec `json:"config,omitempty"`
+}
+
+// ClusterStatus is the wire shape of GET /cluster: one node's view of the
+// ring, who owns which designer, and the per-shard metrics rollup.
+type ClusterStatus struct {
+	NodeID  string         `json:"node_id"`
+	Members []MemberStatus `json:"members"`
+	Shards  []ShardStatus  `json:"shards"`
+}
+
+// MemberStatus is one ring member as seen from the reporting node: identity,
+// last known health, and the designers the reporting node would route to it.
+type MemberStatus struct {
+	ID        string   `json:"id"`
+	URL       string   `json:"url,omitempty"`
+	Self      bool     `json:"self,omitempty"`
+	Healthy   bool     `json:"healthy"`
+	LastError string   `json:"last_error,omitempty"`
+	Designers []string `json:"designers,omitempty"`
+}
+
+// ShardStatus is one in-process shard registry: the designers it holds and
+// their aggregated serving metrics.
+type ShardStatus struct {
+	Index     int                   `json:"index"`
+	Designers []string              `json:"designers"`
+	Stats     service.RegistryStats `json:"stats"`
 }
