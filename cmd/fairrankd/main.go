@@ -9,12 +9,18 @@
 //
 //	fairrankd [-addr :8080] [-data ./fairrankd-data]
 //	          [-node-id node-0] [-shards 4] [-peers node-1=http://host:8080,...]
+//	          [-advertise http://host:8080] [-join http://seed:8080]
+//	          [-anti-entropy 5s] [-drain]
 //
 // A fleet of fairrankd nodes forms a cluster: designers are partitioned
 // across nodes by a rendezvous-hash ring, every node accepts every request
 // and forwards it to the owner, and -shards splits each node's registry into
-// in-process shards. See the "Running a fairrankd cluster" section of the
-// README for the API by example.
+// in-process shards. Membership is dynamic: -join adds this node to a
+// running cluster through any existing member (indexes it now owns are
+// streamed over from their previous owners instead of rebuilt), SIGTERM with
+// -drain hands its indexes off and leaves the ring, and a periodic
+// anti-entropy pass (-anti-entropy) repairs metadata any member missed while
+// it was down. See the "Operating a cluster" section of the README.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"strings"
@@ -48,6 +55,22 @@ func parsePeers(s string) ([]fairrank.ClusterPeer, error) {
 	return peers, nil
 }
 
+// defaultAdvertise derives a loopback advertise URL from the listen address
+// when -advertise is not given: good enough for single-machine clusters and
+// walkthroughs; multi-host fleets must set -advertise explicitly. Wildcard
+// hosts (empty, 0.0.0.0, ::) rewrite to 127.0.0.1 — gossiping a wildcard
+// would make peers dial themselves.
+func defaultAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return ""
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "fairrankd-data", "directory for persisted datasets and indexes (empty = no persistence)")
@@ -56,17 +79,27 @@ func main() {
 	shards := flag.Int("shards", 1, "number of in-process shard registries")
 	peersFlag := flag.String("peers", "", "comma-separated remote nodes as id=http://host:port")
 	healthInterval := flag.Duration("health-interval", 5*time.Second, "peer health probe period (0 = probe only on failed forwards)")
+	advertise := flag.String("advertise", "", "this node's reachable base URL for peers (default: derived from -addr on loopback)")
+	joinAddr := flag.String("join", "", "URL of any existing cluster member to join at startup")
+	antiEntropy := flag.Duration("anti-entropy", 5*time.Second, "anti-entropy digest exchange period (0 = disabled)")
+	drain := flag.Bool("drain", true, "on SIGTERM/SIGINT, hand indexes to their next owners and leave the ring")
 	flag.Parse()
 
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
 		log.Fatalf("parsing -peers: %v", err)
 	}
+	if *advertise == "" {
+		*advertise = defaultAdvertise(*addr)
+	}
 	srv, err := fairrank.NewClusterServer(fairrank.ClusterConfig{
-		NodeID:         *nodeID,
-		Shards:         *shards,
-		Peers:          peers,
-		HealthInterval: *healthInterval,
+		NodeID:              *nodeID,
+		Shards:              *shards,
+		Peers:               peers,
+		AdvertiseURL:        *advertise,
+		HealthInterval:      *healthInterval,
+		AntiEntropyInterval: *antiEntropy,
+		Logf:                log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("configuring cluster: %v", err)
@@ -99,6 +132,19 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	if *joinAddr != "" {
+		// Join after the listener is up: the seed fans the new membership
+		// out immediately, and peers may start forwarding to this node (or
+		// pulling handoffs from it) the moment the entry applies.
+		joinCtx, cancel := context.WithTimeout(ctx, time.Minute)
+		err := srv.JoinCluster(joinCtx, *joinAddr)
+		cancel()
+		if err != nil {
+			log.Fatalf("joining cluster via %s: %v", *joinAddr, err)
+		}
+		log.Printf("joined cluster via %s as %s (advertising %s)", *joinAddr, *nodeID, *advertise)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("serve: %v", err)
@@ -108,6 +154,14 @@ func main() {
 	log.Printf("shutting down (waiting up to %v for in-flight requests)", *shutdownTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
+	if *drain {
+		// Leave the ring before draining HTTP: peers take the index
+		// handoffs and stop routing here while this process can still
+		// answer their stragglers.
+		if err := srv.LeaveCluster(shutdownCtx); err != nil {
+			log.Printf("leaving cluster: %v", err)
+		}
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}

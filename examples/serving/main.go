@@ -6,6 +6,10 @@
 // Run with:
 //
 //	go run ./examples/serving
+//
+// The sibling script cluster.sh extends the story to a 3-node fairrankd
+// fleet: it kills a node, creates a designer while it is down, and shows
+// the anti-entropy pass repairing the miss once the node returns.
 package main
 
 import (

@@ -1,0 +1,596 @@
+package fairrank
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairrank/internal/cluster"
+	"fairrank/internal/datagen"
+)
+
+// logCapture collects Server cluster-lifecycle log lines so tests can assert
+// handoff-vs-rebuild decisions.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+	lc.mu.Unlock()
+}
+
+func (lc *logCapture) any(sub string) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, l := range lc.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// gossipNode is one live fairrankd-style node with anti-entropy enabled and
+// a restartable HTTP front — restartHTTP simulates a node vanishing and
+// returning on the same address.
+type gossipNode struct {
+	srv  *Server
+	addr string
+	url  string
+	http *http.Server
+	logs *logCapture
+}
+
+func (n *gossipNode) stopHTTP() { n.http.Close() }
+
+func (n *gossipNode) restartHTTP(t *testing.T) {
+	t.Helper()
+	l, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.http = &http.Server{Handler: n.srv.Handler()}
+	go n.http.Serve(l) //nolint:errcheck // closed by cleanup
+}
+
+func (n *gossipNode) stop() {
+	n.http.Close()
+	n.srv.Close()
+}
+
+// startGossipNode boots one node. Peers may be nil (it then joins at runtime
+// or stays single).
+func startGossipNode(t *testing.T, id string, peers []ClusterPeer, antiEntropy time.Duration) *gossipNode {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	logs := &logCapture{}
+	srv, err := NewClusterServer(ClusterConfig{
+		NodeID:              id,
+		Shards:              2,
+		Peers:               peers,
+		AdvertiseURL:        "http://" + addr,
+		HealthInterval:      50 * time.Millisecond,
+		AntiEntropyInterval: antiEntropy,
+		Logf:                logs.logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l) //nolint:errcheck // closed by cleanup
+	n := &gossipNode{srv: srv, addr: addr, url: "http://" + addr, http: hs, logs: logs}
+	t.Cleanup(n.stop)
+	return n
+}
+
+// gossipSpecs builds one designer spec per engine mode over the right-sized
+// dataset, with fixed seeds so rebuilt and handed-off indexes agree bit for
+// bit.
+func gossipSpecs() map[string]DesignerSpec {
+	oracle := OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3}
+	return map[string]DesignerSpec{
+		"gossip-2d":     {Dataset: "biased", Oracle: oracle, Config: ConfigSpec{Mode: "2d"}},
+		"gossip-exact":  {Dataset: "uniform", Oracle: oracle, Config: ConfigSpec{Mode: "exact", Seed: 4}},
+		"gossip-approx": {Dataset: "uniform", Oracle: oracle, Config: ConfigSpec{Mode: "approx", Cells: 150, MaxHyperplanes: 300, Seed: 4}},
+	}
+}
+
+// gossipDatasets registers the two datasets the specs reference.
+func gossipDatasets(t *testing.T, srv *Server) {
+	t.Helper()
+	biased, err := datagen.Biased(80, 2, 0.5, 0.3, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := datagen.Uniform(20, 3, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddDataset("biased", biased); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddDataset("uniform", uniform); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// suggestVia queries one designer over HTTP through the given node.
+func suggestVia(t *testing.T, url, id string, w []float64) suggestionJSON {
+	t.Helper()
+	var got suggestionJSON
+	code := postJSON(t, url+"/v1/designers/"+id+"/suggest", suggestRequest{Weights: w}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("suggest %s via %s: HTTP %d (%s)", id, url, code, got.Error)
+	}
+	return got
+}
+
+func sameSuggestion(t *testing.T, ctxt string, got suggestionJSON, want *Suggestion) {
+	t.Helper()
+	if got.Distance != want.Distance || got.AlreadyFair != want.AlreadyFair {
+		t.Fatalf("%s: %+v differs from reference %+v", ctxt, got, want)
+	}
+	if len(got.Weights) != len(want.Weights) {
+		t.Fatalf("%s: weights %v vs %v", ctxt, got.Weights, want.Weights)
+	}
+	for k := range want.Weights {
+		if got.Weights[k] != want.Weights[k] {
+			t.Fatalf("%s: weights %v differ from %v (must be byte-identical)", ctxt, got.Weights, want.Weights)
+		}
+	}
+}
+
+// A create issued while a peer's process is gone must converge onto the
+// restarted (empty) peer through the anti-entropy digest exchange — no
+// operator re-issue, no shared data dir — and answers through the repaired
+// peer must be byte-identical for all three engines.
+func TestAntiEntropyRepairsMissedCreate(t *testing.T) {
+	a := startGossipNode(t, "node-a", nil, 60*time.Millisecond)
+	b := startGossipNode(t, "node-b", nil, 60*time.Millisecond)
+	if err := b.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+
+	// B vanishes entirely: process state is lost.
+	b.stop()
+
+	// Creates land on A while B is down; the replication fan-out fails and
+	// marks B unhealthy, so A owns and builds everything.
+	gossipDatasets(t, a.srv)
+	specs := gossipSpecs()
+	for id, spec := range specs {
+		if err := a.srv.CreateDesigner(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.srv.WaitReady(t.Context(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[string]*Suggestion{}
+	queries := map[string][]float64{
+		"gossip-2d":     {0.5, 0.5},
+		"gossip-exact":  {0.4, 0.3, 0.3},
+		"gossip-approx": {0.4, 0.3, 0.3},
+	}
+	for id, q := range queries {
+		s, err := a.srv.Suggest(id, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = s
+	}
+
+	// B returns as a fresh process on the same address: empty metadata,
+	// static peer config pointing at A.
+	b2 := startGossipNode(t, "node-b", nil, 60*time.Millisecond)
+	if err := b2.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+
+	// Digests must converge within a few rounds: B learns both datasets and
+	// all three designers (1 ring + 2 dataset + 3 designer entries).
+	waitFor(t, 15*time.Second, "anti-entropy convergence", func() bool {
+		return b2.srv.meta.Len() == a.srv.meta.Len() && len(b2.srv.DesignerIDs()) == len(specs)
+	})
+	// Every designer must become servable through B — locally activated for
+	// the ones B now owns (handoff from A, rebuild fallback), forwarded for
+	// the rest — with byte-identical answers.
+	for id, q := range queries {
+		var got suggestionJSON
+		waitFor(t, 60*time.Second, "designer "+id+" servable via repaired B", func() bool {
+			code := postJSON(t, b2.url+"/v1/designers/"+id+"/suggest", suggestRequest{Weights: q}, &got)
+			return code == http.StatusOK
+		})
+		sameSuggestion(t, "repaired "+id+" via B", got, want[id])
+	}
+}
+
+// ringOwnerOf computes rendezvous ownership among a hypothetical member set,
+// for picking designer ids that migrate on a join.
+func ringOwnerOf(t *testing.T, name string, memberIDs ...string) string {
+	t.Helper()
+	members := make([]cluster.Member, len(memberIDs))
+	for i, id := range memberIDs {
+		members[i] = cluster.Member{ID: id}
+	}
+	ring, err := cluster.NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring.Owner(name).ID
+}
+
+// nameOwnedBy finds a designer id with the given prefix that the
+// hypothetical ring assigns to wantOwner.
+func nameOwnedBy(t *testing.T, prefix, wantOwner string, memberIDs ...string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		if ringOwnerOf(t, id, memberIDs...) == wantOwner {
+			return id
+		}
+	}
+	t.Fatalf("no %s-* name hashes to %s", prefix, wantOwner)
+	return ""
+}
+
+// A node joining at runtime must take ownership of its share of designers by
+// index handoff — streaming the old owner's persisted index, not rebuilding —
+// and serve byte-identical answers, for all three engines.
+func TestJoinWithIndexHandoffByteIdentical(t *testing.T) {
+	a := startGossipNode(t, "node-a", nil, 60*time.Millisecond)
+	gossipDatasets(t, a.srv)
+
+	// Designer ids chosen so each engine's designer migrates to node-c when
+	// it joins the two-member ring.
+	oracle := OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3}
+	specs := map[string]DesignerSpec{
+		nameOwnedBy(t, "join-2d", "node-c", "node-a", "node-c"): {
+			Dataset: "biased", Oracle: oracle, Config: ConfigSpec{Mode: "2d"}},
+		nameOwnedBy(t, "join-exact", "node-c", "node-a", "node-c"): {
+			Dataset: "uniform", Oracle: oracle, Config: ConfigSpec{Mode: "exact", Seed: 4}},
+		nameOwnedBy(t, "join-approx", "node-c", "node-a", "node-c"): {
+			Dataset: "uniform", Oracle: oracle, Config: ConfigSpec{Mode: "approx", Cells: 150, MaxHyperplanes: 300, Seed: 4}},
+	}
+	queries := map[string][]float64{}
+	want := map[string]*Suggestion{}
+	for id, spec := range specs {
+		if err := a.srv.CreateDesigner(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.srv.WaitReady(t.Context(), id); err != nil {
+			t.Fatal(err)
+		}
+		q := []float64{0.5, 0.5}
+		if spec.Dataset == "uniform" {
+			q = []float64{0.4, 0.3, 0.3}
+		}
+		queries[id] = q
+		s, err := a.srv.Suggest(id, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = s
+	}
+
+	c := startGossipNode(t, "node-c", nil, 60*time.Millisecond)
+	if err := c.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every designer must surface on C via handoff: a ready local entry,
+	// loaded — not rebuilt — from A's index stream.
+	for id := range specs {
+		waitFor(t, 60*time.Second, "handoff of "+id+" onto C", func() bool {
+			entry, ok := c.srv.shard(id).Get(id)
+			if !ok {
+				return false
+			}
+			st := entry.Status()
+			return st.Status == "ready"
+		})
+		if !c.logs.any(fmt.Sprintf("handoff: designer %q index loaded", id)) {
+			t.Fatalf("designer %s was not loaded by handoff; log:\n%s", id, strings.Join(c.logs.lines, "\n"))
+		}
+		if c.logs.any(fmt.Sprintf("rebuild: designer %q", id)) {
+			t.Fatalf("designer %s was rebuilt on the new owner; log:\n%s", id, strings.Join(c.logs.lines, "\n"))
+		}
+		entry, _ := c.srv.shard(id).Get(id)
+		if st := entry.Status(); st.Rebuilds != 0 {
+			t.Fatalf("designer %s: %d rebuilds on the new owner, want 0", id, st.Rebuilds)
+		}
+	}
+
+	// Byte-identical answers from both entry points, before vs after join.
+	for id, q := range queries {
+		sameSuggestion(t, "post-join "+id+" via C", suggestVia(t, c.url, id, q), want[id])
+		sameSuggestion(t, "post-join "+id+" via A", suggestVia(t, a.url, id, q), want[id])
+	}
+
+	// Both nodes agree on the ring: version 1+, two members.
+	if v := c.srv.router.RingVersion(); v == 0 {
+		t.Fatal("joiner still on the static ring")
+	}
+	if got, want := len(c.srv.router.Members()), 2; got != want {
+		t.Fatalf("joiner sees %d members, want %d", got, want)
+	}
+}
+
+// A replicated tombstone must evict a designer everywhere and stop a replica
+// that missed the delete from resurrecting it.
+func TestTombstoneStopsResurrection(t *testing.T) {
+	a := startGossipNode(t, "node-a", nil, 60*time.Millisecond)
+	// B never initiates anti-entropy itself: its repair must come from A's
+	// exchanges, which is exactly the resurrection-risk direction (B holds a
+	// stale live entry and offers it back).
+	b := startGossipNode(t, "node-b", nil, 0)
+	if err := b.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+
+	gossipDatasets(t, a.srv)
+	id := "tombstone-designer"
+	spec := DesignerSpec{
+		Dataset: "biased",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "2d"},
+	}
+	if err := a.srv.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "create replicated to B", func() bool {
+		_, ok := b.srv.meta.Get(metaKeyDesigner(id))
+		return ok
+	})
+
+	// Partition B, delete on A, then heal the partition.
+	b.stopHTTP()
+	req, err := http.NewRequest(http.MethodDelete, a.url+"/v1/designers/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: HTTP %d", resp.StatusCode)
+	}
+	if e, _ := a.srv.meta.Get(metaKeyDesigner(id)); !e.Deleted {
+		t.Fatalf("no tombstone on A: %+v", e)
+	}
+	b.restartHTTP(t)
+
+	// A's next exchanges must push the tombstone to B — and must not pull
+	// B's stale live entry back.
+	waitFor(t, 15*time.Second, "tombstone convergence on B", func() bool {
+		e, ok := b.srv.meta.Get(metaKeyDesigner(id))
+		return ok && e.Deleted
+	})
+	if e, _ := a.srv.meta.Get(metaKeyDesigner(id)); !e.Deleted {
+		t.Fatal("A resurrected the deleted designer from B's stale copy")
+	}
+	for _, n := range []*gossipNode{a, b} {
+		if _, err := n.srv.DesignerStatus(id); err == nil {
+			t.Fatalf("deleted designer still answers status on %s", n.srv.router.NodeID())
+		}
+		if _, ok := n.srv.shard(id).Get(id); ok {
+			t.Fatalf("deleted designer still has a registry entry on %s", n.srv.router.NodeID())
+		}
+	}
+}
+
+// A spec change that converges through anti-entropy (a delete + re-create
+// that happened while this node was unreachable collapses into one live
+// entry with a new payload) must rebuild the serving index over the new
+// spec — not keep answering from the old designer's index forever.
+func TestGossipSpecChangeRebuildsServingIndex(t *testing.T) {
+	srv := NewServer()
+	defer srv.Close()
+	gossipDatasets(t, srv)
+	id := "spec-change"
+	oracle := func(share float64) OracleSpec {
+		return OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: share}
+	}
+	specA := DesignerSpec{Dataset: "biased", Oracle: oracle(0.3), Config: ConfigSpec{Mode: "2d"}}
+	specB := DesignerSpec{Dataset: "biased", Oracle: oracle(0.45), Config: ConfigSpec{Mode: "2d"}}
+	if err := srv.CreateDesigner(id, specA); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitReady(t.Context(), id); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := NewServer()
+	gossipDatasets(t, ref)
+	if err := ref.CreateDesigner(id, specB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WaitReady(t.Context(), id); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.9, 0.1}
+	want, err := ref.Suggest(id, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The converged remote state: one live entry with specB at a version
+	// past everything this node holds (v1 create + a v2 tombstone it missed).
+	payload, err := json.Marshal(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.applyEntries([]cluster.MetaEntry{{Key: metaKeyDesigner(id), Version: 3, Payload: payload}}); n != 1 {
+		t.Fatalf("applied %d entries, want 1", n)
+	}
+	waitFor(t, 60*time.Second, "rebuild over the new spec", func() bool {
+		entry, ok := srv.shard(id).Get(id)
+		if !ok {
+			return false
+		}
+		st := entry.Status()
+		if st.Rebuilds < 1 || st.Status != "ready" {
+			return false
+		}
+		got, err := srv.Suggest(id, q)
+		if err != nil || got.Distance != want.Distance || len(got.Weights) != len(want.Weights) {
+			return false
+		}
+		for k := range want.Weights {
+			if got.Weights[k] != want.Weights[k] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Replicated-metadata versions must survive a restart: tombstones are
+// restored (a peer re-offering its stale live copy cannot resurrect a
+// deleted designer) and re-loaded specs resume at their persisted versions
+// instead of dropping back to 1 below the rest of the cluster.
+func TestMetaVersionsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := NewServer()
+	gossipDatasets(t, srv1)
+	id := "restart-designer"
+	spec := DesignerSpec{
+		Dataset: "biased",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "2d"},
+	}
+	if err := srv1.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.WaitReady(t.Context(), id); err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := srv1.meta.Get(metaKeyDesigner(id)) // the live v1 a slow peer might hold
+	if err := srv1.DeleteDesigner(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	srv2 := NewServer()
+	defer srv2.Close()
+	if err := srv2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := srv2.meta.Get(metaKeyDesigner(id))
+	if !ok || !e.Deleted || e.Version < 2 {
+		t.Fatalf("tombstone not restored after restart: %+v (ok=%v)", e, ok)
+	}
+	// The stale live copy must lose against the restored tombstone.
+	if srv2.meta.Apply(stale) {
+		t.Fatal("restart reset the version vector: a stale peer copy resurrected the designer")
+	}
+	// A deliberate re-create supersedes the tombstone and serves again.
+	if err := srv2.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := srv2.meta.Get(metaKeyDesigner(id)); e.Deleted || e.Version <= 2 {
+		t.Fatalf("re-create did not supersede the tombstone: %+v", e)
+	}
+	if err := srv2.WaitReady(t.Context(), id); err != nil {
+		t.Fatal(err)
+	}
+	// Re-loaded live specs resume at their persisted versions too.
+	if e, _ := srv2.meta.Get(metaKeyDataset("biased")); e.Version < 1 || e.Deleted {
+		t.Fatalf("dataset entry not restored: %+v", e)
+	}
+}
+
+// A draining node must push its indexes to their next owners before leaving:
+// the survivor serves byte-identically with zero rebuilds.
+func TestLeaveDrainPushesIndexes(t *testing.T) {
+	a := startGossipNode(t, "node-a", nil, 60*time.Millisecond)
+	b := startGossipNode(t, "node-b", nil, 60*time.Millisecond)
+	if err := b.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	gossipDatasets(t, a.srv)
+
+	id := nameOwnedBy(t, "drain", "node-b", "node-a", "node-b")
+	spec := DesignerSpec{
+		Dataset: "biased",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "2d"},
+	}
+	if err := a.srv.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	// The owner (B) builds; wait through A's forwarding status poll.
+	waitFor(t, 60*time.Second, "designer built on owner B", func() bool {
+		entry, ok := b.srv.shard(id).Get(id)
+		if !ok {
+			return false
+		}
+		st := entry.Status()
+		return st.Status == "ready"
+	})
+	want, err := b.srv.Suggest(id, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.srv.LeaveCluster(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b.stop()
+
+	// A inherited the designer with the pushed index — ready, no rebuild.
+	waitFor(t, 30*time.Second, "index handed to A", func() bool {
+		entry, ok := a.srv.shard(id).Get(id)
+		if !ok {
+			return false
+		}
+		return entry.Status().Status == "ready"
+	})
+	if !a.logs.any(fmt.Sprintf("handoff: designer %q index received", id)) {
+		t.Fatalf("A did not receive a pushed index; log:\n%s", strings.Join(a.logs.lines, "\n"))
+	}
+	entry, _ := a.srv.shard(id).Get(id)
+	if st := entry.Status(); st.Rebuilds != 0 {
+		t.Fatalf("survivor rebuilt (%d) instead of loading the pushed index", st.Rebuilds)
+	}
+	sameSuggestion(t, "post-drain via A", suggestVia(t, a.url, id, []float64{0.5, 0.5}), want)
+	// B is gone from A's ring.
+	for _, m := range a.srv.router.Members() {
+		if m.ID == "node-b" {
+			t.Fatal("left node still on the survivor's ring")
+		}
+	}
+}

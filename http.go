@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strings"
 	"time"
 
 	"fairrank/internal/cluster"
@@ -22,14 +24,26 @@ import (
 //	GET  /v1/designers/{id}/status        → service.StatusInfo
 //	POST /v1/designers/{id}/suggest       {"weights": [...]} or {"batch": [[...], ...]}
 //	POST /v1/designers/{id}/revalidate    {"dataset": optional id}
+//	DELETE /v1/designers/{id}             → replicated tombstone delete
 //	GET  /cluster                         → ClusterStatus (ring, health, per-shard rollup)
 //	GET  /metrics                         → per-designer counters + latency histograms
 //	GET  /healthz                         → {"status": "ok"}
 //
+// Cluster-internal endpoints (also callable by operators):
+//
+//	POST /cluster/join                    {"id": ..., "url": ...} → membership MetaEntry
+//	POST /cluster/leave                   {"id": ...} — drain (self) or force-remove (other)
+//	POST /cluster/digest                  Digest → DigestResponse (anti-entropy exchange)
+//	POST /cluster/meta                    {"entries": [MetaEntry]} → apply (replication push)
+//	GET  /cluster/handoff/{id}            → persisted index stream (octet-stream)
+//	POST /cluster/handoff/{id}            index stream → load + activate without rebuild
+//
 // In a cluster, any node accepts any request: per-designer calls are
-// forwarded to the designer's ring owner, and metadata creates replicate to
-// every peer. A request carrying the X-Fairrank-Forwarded header is always
-// handled locally, so disagreeing ring views bounce a request at most once.
+// forwarded to the designer's ring owner, and metadata mutations (create,
+// delete) replicate to every peer as versioned entries, with a periodic
+// anti-entropy digest exchange repairing whatever the fan-out missed. A
+// request carrying the X-Fairrank-Forwarded header is always handled
+// locally, so disagreeing ring views bounce a request at most once.
 
 // suggestRequest is the body of POST /v1/designers/{id}/suggest: exactly one
 // of Weights (single query) and Batch (many queries) must be set.
@@ -64,7 +78,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/designers/{id}/status", s.handleDesignerStatus)
 	s.mux.HandleFunc("POST /v1/designers/{id}/suggest", s.handleSuggest)
 	s.mux.HandleFunc("POST /v1/designers/{id}/revalidate", s.handleRevalidate)
+	s.mux.HandleFunc("DELETE /v1/designers/{id}", s.handleDeleteDesigner)
 	s.mux.HandleFunc("GET /cluster", s.handleCluster)
+	s.mux.HandleFunc("POST /cluster/join", s.handleJoin)
+	s.mux.HandleFunc("POST /cluster/leave", s.handleLeave)
+	s.mux.HandleFunc("POST /cluster/digest", s.handleDigest)
+	s.mux.HandleFunc("POST /cluster/meta", s.handleMeta)
+	s.mux.HandleFunc("GET /cluster/handoff/{id}", s.handleHandoffGet)
+	s.mux.HandleFunc("POST /cluster/handoff/{id}", s.handleHandoffPut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -159,28 +180,19 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, id strin
 	}
 }
 
-// replicate fans a metadata create out to every healthy peer — the
-// metadata-everywhere/indexes-on-owner model: each node stores every dataset
-// and designer spec, but only a designer's ring owner builds and serves its
-// index. Replication is best-effort; a peer that is down misses the create
-// and is repaired by restarting it from a shared data dir or re-issuing the
-// create once it is back.
-func (s *Server) replicate(ctx context.Context, path string, body []byte) {
-	// Detached from the requester's cancellation: a client that disconnects
-	// right after POSTing a create must not abort the fan-out half-way (or
-	// get healthy peers marked down for its own context error). Each peer
-	// gets its own bounded attempt, so one black hole can't stall the rest.
-	base := context.WithoutCancel(ctx)
-	for _, p := range s.router.Peers() {
-		if !p.Healthy() {
-			continue
-		}
-		pctx, cancel := context.WithTimeout(base, 10*time.Second)
-		err := p.PostRaw(pctx, path, s.router.NodeID(), body)
-		cancel()
-		if err != nil {
-			p.MarkUnhealthy(err)
-		}
+// replicateMetaKey fans the current versioned entry for key out to every
+// healthy peer — the metadata-everywhere/indexes-on-owner model: each node
+// stores every dataset and designer spec, but only a designer's ring owner
+// builds and serves its index. The fan-out is best-effort; a peer that is
+// down misses it and is repaired by the next anti-entropy exchange (no
+// operator action needed).
+func (s *Server) replicateMetaKey(ctx context.Context, key string) {
+	if e, ok := s.meta.Get(key); ok {
+		// Detached from the requester's cancellation (inside
+		// replicateEntries): a client that disconnects right after POSTing
+		// a create must not abort the fan-out half-way, or get healthy
+		// peers marked down for its own context error.
+		s.replicateEntries(ctx, []cluster.MetaEntry{e})
 	}
 }
 
@@ -206,11 +218,11 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err)
 		return
 	}
-	// A duplicate still replicates: cluster-wide the create is idempotent,
-	// and re-issuing it to ANY node is the documented repair for a peer that
-	// lost its metadata (it answers 409 here but reaches the amnesiac peer).
+	// A duplicate still replicates the stored entry: cluster-wide the create
+	// is idempotent, and pushing the current version to peers immediately is
+	// cheaper than waiting for the next anti-entropy round to repair them.
 	if r.Header.Get(cluster.ForwardHeader) == "" {
-		s.replicate(r.Context(), "/v1/datasets", body)
+		s.replicateMetaKey(r.Context(), metaKeyDataset(req.ID))
 	}
 	if err != nil {
 		writeError(w, errorStatus(err), err)
@@ -245,10 +257,9 @@ func (s *Server) handleCreateDesigner(w http.ResponseWriter, r *http.Request) {
 	if !forwarded {
 		// Every node stores the spec; the ring owner (possibly a peer that
 		// just received this replica) starts the build. Duplicates replicate
-		// too — re-issuing a create to any node is the documented repair for
-		// a peer that lost its metadata, and must reach that peer even when
-		// the receiving node already has the designer (it still answers 409).
-		s.replicate(r.Context(), "/v1/designers", body)
+		// the stored entry too, so a peer that lost its copy is repaired
+		// immediately instead of at the next anti-entropy round.
+		s.replicateMetaKey(r.Context(), metaKeyDesigner(req.ID))
 	}
 	if err != nil {
 		writeError(w, errorStatus(err), err)
@@ -396,6 +407,236 @@ func (s *Server) handleRevalidate(w http.ResponseWriter, r *http.Request) {
 // metrics rollup.
 func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.ClusterStatus())
+}
+
+// handleDeleteDesigner removes a designer cluster-wide: a replicated
+// tombstone evicts the spec (and index) from every member, and stops a peer
+// that was down during the delete from resurrecting the designer later.
+func (s *Server) handleDeleteDesigner(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.DeleteDesigner(id)
+	if err != nil && !errors.Is(err, ErrUnknownID) {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	// Like creates, deletes replicate even when this node never knew the id:
+	// the tombstone may still be news to a peer. An id with no tombstone
+	// recorded (never existed anywhere) replicates nothing.
+	if r.Header.Get(cluster.ForwardHeader) == "" {
+		s.replicateMetaKey(r.Context(), metaKeyDesigner(id))
+	}
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+// handleJoin admits a new member at runtime: it originates a membership with
+// the joiner added, fans it out to the existing peers, and answers with the
+// membership entry so the joiner can adopt the ring immediately. The
+// joiner's subsequent anti-entropy exchange pulls all metadata; designers it
+// now owns are then activated by index handoff from their previous owners.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.ID == "" || req.URL == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`join needs "id" and "url"`))
+		return
+	}
+	if err := validateID(req.ID); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == s.router.NodeID() {
+		// A node cannot join through itself — and accepting it would let a
+		// single malformed request rewrite this node's advertised URL
+		// cluster-wide.
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("fairrank: %q is this node's own id", req.ID))
+		return
+	}
+	if u, err := url.Parse(req.URL); err != nil ||
+		(u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("fairrank: join url %q is not an http(s) base URL", req.URL))
+		return
+	}
+	if s.advertise == "" {
+		writeError(w, http.StatusUnprocessableEntity,
+			errors.New("fairrank: this node has no AdvertiseURL and cannot host joins"))
+		return
+	}
+	joinURL := strings.TrimSuffix(req.URL, "/")
+	s.memberMu.Lock()
+	members := s.router.Members()
+	found := false
+	for i, m := range members {
+		if m.ID == req.ID {
+			members[i].URL = joinURL // re-join with a new address
+			found = true
+		}
+	}
+	if !found {
+		members = append(members, cluster.Member{ID: req.ID, URL: joinURL})
+	}
+	entry, err := s.originateMembership(members)
+	s.memberMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.replicateEntries(r.Context(), []cluster.MetaEntry{entry})
+	s.logf("cluster: node %s joined via this node (membership v%d)", req.ID, entry.Version)
+	writeJSON(w, http.StatusOK, entry)
+}
+
+// handleLeave removes a member from the ring. Addressed to the leaving node
+// itself it is a graceful drain — indexes are handed to their next owners
+// first (LeaveCluster). Addressed to any other node it is a forced removal
+// for a member that is already dead: ownership moves immediately and the new
+// owners fall back to rebuilding whatever they cannot pull from a live peer.
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req leaveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`leave needs "id"`))
+		return
+	}
+	if req.ID == s.router.NodeID() {
+		if err := s.LeaveCluster(r.Context()); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"left": req.ID, "drained": true})
+		return
+	}
+	if s.advertise == "" {
+		// The originated membership names this node; without an advertise
+		// URL every peer would reject the entry (members need URLs) after
+		// already consuming its version — permanently diverging ring views.
+		// Same guard as handleJoin.
+		writeError(w, http.StatusUnprocessableEntity,
+			errors.New("fairrank: this node has no AdvertiseURL and cannot originate membership"))
+		return
+	}
+	s.memberMu.Lock()
+	var members []cluster.Member
+	removed := false
+	for _, m := range s.router.Members() {
+		if m.ID == req.ID {
+			removed = true
+			continue
+		}
+		members = append(members, m)
+	}
+	if !removed {
+		s.memberMu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"left": req.ID, "already_absent": true})
+		return
+	}
+	entry, err := s.originateMembership(members)
+	s.memberMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.replicateEntries(r.Context(), []cluster.MetaEntry{entry})
+	s.logf("cluster: node %s force-removed from the ring (membership v%d)", req.ID, entry.Version)
+	writeJSON(w, http.StatusOK, map[string]any{"left": req.ID})
+}
+
+// handleDigest answers one anti-entropy exchange: given the caller's digest,
+// respond with the entries the caller is missing and the keys it should push
+// back (see cluster.MetaStore.Diff).
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	var d cluster.Digest
+	if !decodeBody(w, r, &d) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.meta.Diff(d))
+}
+
+// handleMeta applies pushed metadata entries — the replication fan-out for
+// originated writes and the push leg of an anti-entropy exchange. Applying
+// is idempotent and never fans out further, so replication cannot loop.
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Entries []cluster.MetaEntry `json:"entries"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	applied := s.applyEntries(req.Entries)
+	writeJSON(w, http.StatusOK, map[string]any{"applied": applied})
+}
+
+// handleHandoffGet streams the persisted index of a locally served designer
+// (universal header + engine payload, exactly the SaveIndex bytes) to a
+// member that now owns it. 404 — no entry here, or still building — tells
+// the caller to fall back to rebuilding.
+func (s *Server) handleHandoffGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	entry, ok := s.shard(id).Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: no index for designer %q on this node", ErrUnknownID, id))
+		return
+	}
+	eng, err := entry.Engine()
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("designer %q has no servable index here: %w", id, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := eng.SaveIndex(w); err != nil {
+		// Headers are gone; the truncated stream fails the loader's header
+		// or payload decode and the puller falls back to rebuilding.
+		s.logf("cluster: handoff stream of %q failed: %v", id, err)
+	}
+}
+
+// handleHandoffPut receives a pushed index stream (a draining node handing
+// off before it leaves) and activates it without a rebuild. The designer's
+// spec must already be known here — metadata replicates ahead of indexes.
+func (s *Server) handleHandoffPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	spec, known := s.specs[id]
+	s.mu.RUnlock()
+	if !known {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: designer %q (push metadata before indexes)", ErrUnknownID, id))
+		return
+	}
+	build, err := s.builder(spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	d, err := s.loadDesignerStream(http.MaxBytesReader(w, r.Body, 1<<30), spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if _, err := s.shard(id).CreateReady(id, &designerEngine{d: d}, build); err != nil {
+		// An entry already serves (duplicate push, or a build won the race);
+		// the pushed copy is redundant, not wrong.
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "loaded": false})
+		return
+	}
+	if s.designerDeleted(id) {
+		// Same post-landing re-check as localEntry and ensureOwned: a
+		// DELETE racing this push must not leave a zombie index serving.
+		s.shard(id).Remove(id)
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: designer %q was deleted", ErrUnknownID, id))
+		return
+	}
+	s.logf("cluster: handoff: designer %q index received from %s (no rebuild)",
+		id, r.Header.Get(cluster.ForwardHeader))
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "loaded": true})
 }
 
 // handleMetrics exposes per-designer query counters and latency histograms

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Anti-entropy metadata replication. Every node keeps a MetaStore of
+// versioned entries (dataset specs, designer specs, and the ring membership
+// itself); a background pass periodically exchanges a compact Digest with a
+// random peer and pulls or pushes whatever the other side is missing. The
+// convergence argument is the classic one: applying an entry is idempotent
+// and ordered by a per-entry version (ties broken deterministically by
+// tombstone-ness and payload bytes), so any two replicas that exchange
+// digests settle on the same entry set regardless of delivery order or
+// repetition — a create issued while a peer is down converges once the peer
+// returns, instead of being lost until an operator re-issues it.
+
+// RingKey is the reserved MetaStore key holding the cluster membership (a
+// JSON Membership payload). Keeping membership inside the same versioned
+// store means join/leave changes are repaired by the identical anti-entropy
+// machinery that repairs missed creates.
+const RingKey = "ring/members"
+
+// Membership is the payload of the RingKey entry: the full member list.
+// Every node derives its ring from the highest-versioned membership it has
+// seen (always re-adding itself locally, so a node can keep serving its own
+// shards even while the rest of the cluster believes it has left).
+type Membership struct {
+	Members []Member `json:"members"`
+}
+
+// MetaEntry is one replicated metadata item: a key, a monotonic per-entry
+// version, an optional tombstone marker, and the payload bytes (absent on
+// tombstones). Entries are immutable once emitted; a change is a new entry
+// with a higher version.
+type MetaEntry struct {
+	Key     string          `json:"key"`
+	Version uint64          `json:"version"`
+	Deleted bool            `json:"deleted,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// payloadSum fingerprints an entry's payload so digests can detect
+// equal-version conflicts (two nodes independently writing version v of the
+// same key) without shipping the payload itself.
+func payloadSum(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// supersedes reports whether entry a must replace entry b on a replica that
+// holds b. The relation is a deterministic total tie-break — higher version
+// first, tombstones over live entries at equal version, then larger payload
+// bytes — so every replica picks the same winner for concurrent writes and
+// re-applying a losing entry is a no-op (the idempotence anti-entropy
+// convergence rests on).
+func supersedes(a, b MetaEntry) bool {
+	if a.Version != b.Version {
+		return a.Version > b.Version
+	}
+	if a.Deleted != b.Deleted {
+		return a.Deleted
+	}
+	return bytes.Compare(a.Payload, b.Payload) > 0
+}
+
+// VersionInfo is one digest slot: everything a peer needs to decide whether
+// its copy of the entry is older, newer, or conflicting — without the
+// payload.
+type VersionInfo struct {
+	Version uint64 `json:"version"`
+	Deleted bool   `json:"deleted,omitempty"`
+	Sum     uint64 `json:"sum"`
+}
+
+// Digest is a compact summary of a MetaStore, keyed like the store itself.
+type Digest map[string]VersionInfo
+
+// DigestResponse is the answer to an anti-entropy digest exchange: Updates
+// carries full entries the caller is missing or holds stale, Wants names the
+// keys where the caller is ahead and should push its entries back.
+type DigestResponse struct {
+	Updates []MetaEntry `json:"updates,omitempty"`
+	Wants   []string    `json:"wants,omitempty"`
+}
+
+// MetaStore is a replica of the cluster's versioned metadata. All methods
+// are safe for concurrent use. The store holds bytes only; materializing an
+// applied entry (building a dataset, storing a designer spec, moving the
+// ring) is the owner's job, keyed off Apply's report of what changed.
+type MetaStore struct {
+	mu      sync.RWMutex
+	entries map[string]MetaEntry
+}
+
+// NewMetaStore returns an empty store.
+func NewMetaStore() *MetaStore {
+	return &MetaStore{entries: make(map[string]MetaEntry)}
+}
+
+// Put records a local write of key, bumping its version past everything this
+// replica has seen for it (tombstones included, so re-creating a deleted key
+// resurrects it deliberately). It returns the stored entry for replication.
+func (s *MetaStore) Put(key string, payload []byte) MetaEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := MetaEntry{Key: key, Version: s.entries[key].Version + 1, Payload: append([]byte(nil), payload...)}
+	s.entries[key] = e
+	return e
+}
+
+// Delete records a local tombstone for key. The tombstone is kept (and
+// gossiped) forever: it is what stops a stale replica from resurrecting the
+// entry during a later exchange.
+func (s *MetaStore) Delete(key string) MetaEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := MetaEntry{Key: key, Version: s.entries[key].Version + 1, Deleted: true}
+	s.entries[key] = e
+	return e
+}
+
+// Get returns the entry stored under key (possibly a tombstone).
+func (s *MetaStore) Get(key string) (MetaEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Apply merges a remotely produced entry, returning true when it replaced
+// (or created) the local copy — the caller then materializes the change.
+// Applying an entry that lost the supersedes tie-break, or re-applying one
+// already held, is a no-op: idempotent re-apply is the convergence
+// guarantee.
+func (s *MetaStore) Apply(e MetaEntry) bool {
+	if e.Key == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	local, ok := s.entries[e.Key]
+	if ok && !supersedes(e, local) {
+		return false
+	}
+	e.Payload = append([]byte(nil), e.Payload...)
+	s.entries[e.Key] = e
+	return true
+}
+
+// Restore re-establishes a persisted version floor for key after a process
+// restart, where live payloads are re-Put at version 1 by the data-dir
+// loader but the cluster may hold higher versions (or tombstones) for the
+// same keys. Without it, a designer re-created after a restart would start
+// below an old replicated tombstone and be silently deleted by the next
+// anti-entropy exchange. Restoring a tombstone recreates it outright;
+// restoring a live floor only lifts the version of an entry that was
+// already re-materialized (a floor without bytes is not an entry).
+func (s *MetaStore) Restore(key string, version uint64, deleted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if ok && e.Version >= version {
+		return
+	}
+	if deleted {
+		s.entries[key] = MetaEntry{Key: key, Version: version, Deleted: true}
+		return
+	}
+	if !ok {
+		return
+	}
+	e.Version = version
+	s.entries[key] = e
+}
+
+// Digest summarizes every entry (tombstones included) for an anti-entropy
+// exchange.
+func (s *MetaStore) Digest() Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := make(Digest, len(s.entries))
+	for k, e := range s.entries {
+		d[k] = VersionInfo{Version: e.Version, Deleted: e.Deleted, Sum: payloadSum(e.Payload)}
+	}
+	return d
+}
+
+// Entries returns the full entries for the requested keys (skipping unknown
+// ones) — the push leg of an exchange, answering a peer's Wants.
+func (s *MetaStore) Entries(keys []string) []MetaEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]MetaEntry, 0, len(keys))
+	for _, k := range keys {
+		if e, ok := s.entries[k]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Snapshot returns every entry sorted by key.
+func (s *MetaStore) Snapshot() []MetaEntry {
+	s.mu.RLock()
+	out := make([]MetaEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len returns the number of entries held, tombstones included.
+func (s *MetaStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Diff computes this replica's half of an exchange against a remote digest:
+// Updates holds the local entries the remote is missing or holds a losing
+// copy of; Wants names the keys where the remote is ahead (or holds an
+// equal-version conflict that might win the tie-break — pulling the payload
+// and letting Apply decide is cheaper than encoding the full ordering into
+// the digest).
+func (s *MetaStore) Diff(remote Digest) DigestResponse {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var resp DigestResponse
+	for k, local := range s.entries {
+		r, ok := remote[k]
+		switch {
+		case !ok || local.Version > r.Version:
+			resp.Updates = append(resp.Updates, local)
+		case local.Version == r.Version &&
+			(local.Deleted != r.Deleted || payloadSum(local.Payload) != r.Sum):
+			// Equal-version conflict: ship ours and ask for theirs; the
+			// supersedes tie-break settles it identically on both replicas.
+			resp.Updates = append(resp.Updates, local)
+			resp.Wants = append(resp.Wants, k)
+		}
+	}
+	for k, r := range remote {
+		local, ok := s.entries[k]
+		if !ok || r.Version > local.Version {
+			resp.Wants = append(resp.Wants, k)
+		}
+	}
+	sort.Slice(resp.Updates, func(i, j int) bool { return resp.Updates[i].Key < resp.Updates[j].Key })
+	sort.Strings(resp.Wants)
+	return resp
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// exchange runs one full anti-entropy round initiated by a against b: a
+// ships its digest, applies b's updates, and pushes back what b wants —
+// exactly the wire protocol of /cluster/digest + /cluster/meta.
+func exchange(a, b *MetaStore) {
+	resp := b.Diff(a.Digest())
+	for _, e := range resp.Updates {
+		a.Apply(e)
+	}
+	for _, e := range a.Entries(resp.Wants) {
+		b.Apply(e)
+	}
+}
+
+func TestMetaStoreVersionsAreMonotonicPerKey(t *testing.T) {
+	s := NewMetaStore()
+	e1 := s.Put("designer/a", []byte(`{"v":1}`))
+	e2 := s.Put("designer/a", []byte(`{"v":2}`))
+	if e1.Version != 1 || e2.Version != 2 {
+		t.Fatalf("versions = %d, %d; want 1, 2", e1.Version, e2.Version)
+	}
+	tomb := s.Delete("designer/a")
+	if tomb.Version != 3 || !tomb.Deleted {
+		t.Fatalf("tombstone = %+v", tomb)
+	}
+	// Re-creating after a delete must supersede the tombstone.
+	e4 := s.Put("designer/a", []byte(`{"v":3}`))
+	if e4.Version != 4 || e4.Deleted {
+		t.Fatalf("resurrected entry = %+v", e4)
+	}
+}
+
+func TestMetaStoreApplyIsIdempotentAndOrdered(t *testing.T) {
+	s := NewMetaStore()
+	newer := MetaEntry{Key: "k", Version: 3, Payload: []byte("new")}
+	older := MetaEntry{Key: "k", Version: 2, Payload: []byte("old")}
+	if !s.Apply(newer) {
+		t.Fatal("first apply must change state")
+	}
+	if s.Apply(newer) {
+		t.Fatal("re-applying the same entry must be a no-op")
+	}
+	if s.Apply(older) {
+		t.Fatal("applying an older version must be a no-op")
+	}
+	got, _ := s.Get("k")
+	if string(got.Payload) != "new" {
+		t.Fatalf("payload = %q after stale apply", got.Payload)
+	}
+}
+
+// A tombstone at the same version as a live entry must win on every replica,
+// or a deleted designer could resurrect depending on exchange order.
+func TestMetaStoreTombstoneWinsEqualVersion(t *testing.T) {
+	live := MetaEntry{Key: "k", Version: 5, Payload: []byte("live")}
+	tomb := MetaEntry{Key: "k", Version: 5, Deleted: true}
+	a, b := NewMetaStore(), NewMetaStore()
+	a.Apply(live)
+	a.Apply(tomb)
+	b.Apply(tomb)
+	b.Apply(live)
+	ga, _ := a.Get("k")
+	gb, _ := b.Get("k")
+	if !ga.Deleted || !gb.Deleted {
+		t.Fatalf("order-dependent outcome: a=%+v b=%+v", ga, gb)
+	}
+}
+
+func TestMetaStoreDeleteStopsResurrection(t *testing.T) {
+	a, b := NewMetaStore(), NewMetaStore()
+	// Both replicas hold the live entry; a deletes while b is partitioned.
+	e := a.Put("designer/x", []byte(`{"spec":true}`))
+	b.Apply(e)
+	a.Delete("designer/x")
+	// b initiates the next exchange with its stale live copy.
+	exchange(b, a)
+	got, ok := b.Get("designer/x")
+	if !ok || !got.Deleted {
+		t.Fatalf("b after exchange = %+v, want tombstone", got)
+	}
+	if ga, _ := a.Get("designer/x"); !ga.Deleted {
+		t.Fatalf("a resurrected the deleted entry: %+v", ga)
+	}
+}
+
+// One exchange in either direction must fully converge two replicas that
+// diverged through an arbitrary interleaving of writes, deletes, and partial
+// replication — the anti-entropy convergence invariant.
+func TestMetaStoreExchangeConverges(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a, b := NewMetaStore(), NewMetaStore()
+		stores := []*MetaStore{a, b}
+		for op := 0; op < 60; op++ {
+			s := stores[r.Intn(2)]
+			key := fmt.Sprintf("designer/d%d", r.Intn(8))
+			switch {
+			case r.Float64() < 0.2:
+				s.Delete(key)
+			default:
+				s.Put(key, []byte(fmt.Sprintf(`{"op":%d}`, op)))
+			}
+			// Occasionally replicate a random write immediately, like the
+			// best-effort create fan-out does.
+			if r.Float64() < 0.3 {
+				if e, ok := s.Get(key); ok {
+					stores[1-r.Intn(2)].Apply(e)
+				}
+			}
+		}
+		exchange(a, b)
+		if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+			t.Fatalf("seed %d: replicas diverged after exchange:\na=%s\nb=%s",
+				seed, dump(a), dump(b))
+		}
+		// A second round must be a no-op exchange (nothing to pull or push).
+		resp := b.Diff(a.Digest())
+		if len(resp.Updates) != 0 || len(resp.Wants) != 0 {
+			t.Fatalf("seed %d: converged replicas still diff: %+v", seed, resp)
+		}
+	}
+}
+
+func dump(s *MetaStore) string {
+	out, _ := json.Marshal(s.Snapshot())
+	return string(out)
+}

@@ -41,6 +41,12 @@ func newPeer(m Member, client *http.Client) *Peer {
 	return &Peer{member: m, client: client}
 }
 
+// NewPeer returns a client for a cluster member that is not (yet) on this
+// node's ring — the join bootstrap talks to its seed node through one of
+// these before any membership is known. A nil client uses http.DefaultClient
+// semantics.
+func NewPeer(m Member, client *http.Client) *Peer { return newPeer(m, client) }
+
 // Member returns the peer's identity.
 func (p *Peer) Member() Member { return p.member }
 
@@ -120,28 +126,6 @@ func (p *Peer) Forward(w http.ResponseWriter, r *http.Request, from string, body
 	return nil
 }
 
-// PostRaw posts a pre-encoded JSON body to the peer at path with the
-// forwarded marker set — the metadata-replication path (dataset and designer
-// creates fan out to every peer so any node can serve, or rebuild, any
-// designer). A non-2xx status is not an error: replicating a create to a
-// peer that already has the id answers 409, which is the desired idempotent
-// outcome.
-func (p *Peer) PostRaw(ctx context.Context, path, from string, body []byte) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.member.URL+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(ForwardHeader, from)
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return nil
-}
-
 // StatusError is a non-2xx answer from a peer that was reachable: an
 // application-level response (404 for an id the peer lost, 503 while
 // building), NOT a peer failure — callers must not mark the peer unhealthy
@@ -152,8 +136,107 @@ type StatusError struct {
 	Code int
 }
 
+// Error formats the peer, path, and status code of the failed call.
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("cluster: peer %s %s: HTTP %d", e.Peer, e.Path, e.Code)
+}
+
+// PostJSON posts v as JSON to path and decodes the response into out (when
+// non-nil), reporting non-2xx statuses as *StatusError. It is the typed
+// sibling of PostRaw for the cluster-control endpoints (join, leave, digest
+// exchange, meta push) where the answer matters.
+func (p *Peer) PostJSON(ctx context.Context, path, from string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.member.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, from)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, resp.Body)
+		return &StatusError{Peer: p.member.ID, Path: path, Code: resp.StatusCode}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ExchangeDigest runs the pull leg of one anti-entropy round: it ships this
+// node's digest to the peer's /cluster/digest and returns the peer's
+// Updates (entries we should apply) and Wants (keys we should push back).
+func (p *Peer) ExchangeDigest(ctx context.Context, from string, d Digest) (DigestResponse, error) {
+	var resp DigestResponse
+	err := p.PostJSON(ctx, "/cluster/digest", from, d, &resp)
+	return resp, err
+}
+
+// PushEntries ships full metadata entries to the peer's /cluster/meta — the
+// push leg of an exchange (answering the peer's Wants) and the replication
+// path for locally originated writes.
+func (p *Peer) PushEntries(ctx context.Context, from string, entries []MetaEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	return p.PostJSON(ctx, "/cluster/meta", from,
+		map[string][]MetaEntry{"entries": entries}, nil)
+}
+
+// FetchIndex streams the peer's persisted index bytes for a designer
+// (GET /cluster/handoff/{id}) — the pull side of index handoff: a new ring
+// owner loads the old owner's index instead of re-running the offline build.
+// A peer that holds no ready index answers 404, surfaced as *StatusError;
+// the caller then falls back to rebuilding. The caller must Close the
+// returned stream.
+func (p *Peer) FetchIndex(ctx context.Context, from, id string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.member.URL+"/cluster/handoff/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ForwardHeader, from)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &StatusError{Peer: p.member.ID, Path: "/cluster/handoff/" + id, Code: resp.StatusCode}
+	}
+	return resp.Body, nil
+}
+
+// PushIndex streams index bytes to the peer's POST /cluster/handoff/{id} —
+// the push side of handoff: a draining node hands each of its indexes to the
+// designer's next owner before announcing its leave, so the new owner starts
+// serving without a rebuild.
+func (p *Peer) PushIndex(ctx context.Context, from, id string, body io.Reader) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.member.URL+"/cluster/handoff/"+id, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(ForwardHeader, from)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return &StatusError{Peer: p.member.ID, Path: "/cluster/handoff/" + id, Code: resp.StatusCode}
+	}
+	return nil
 }
 
 // GetJSON fetches path from the peer and decodes the JSON response into out,

@@ -108,6 +108,107 @@ func TestRouterFailoverAndRecovery(t *testing.T) {
 	}
 }
 
+// SetMembers must move the ring only forward (stale versions ignored),
+// preserve the health state of surviving peers, keep the local node on its
+// own ring, and drop removed members.
+func TestRouterSetMembersVersionedAndHealthPreserving(t *testing.T) {
+	rt, err := NewRouter(Config{
+		NodeID:       "node-a",
+		AdvertiseURL: "http://a",
+		Peers:        []Member{{ID: "node-b", URL: "http://b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.RingVersion() != 0 {
+		t.Fatalf("static boot ring version = %d, want 0", rt.RingVersion())
+	}
+	peerB, _ := rt.Peer("node-b")
+	peerB.MarkUnhealthy(errors.New("down"))
+
+	// v1 adds node-c; node-b survives with its health state intact.
+	v1 := []Member{
+		{ID: "node-a", URL: "http://a"},
+		{ID: "node-b", URL: "http://b"},
+		{ID: "node-c", URL: "http://c"},
+	}
+	if err := rt.SetMembers(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rt.RingVersion() != 1 || len(rt.Members()) != 3 {
+		t.Fatalf("after v1: version=%d members=%v", rt.RingVersion(), rt.Members())
+	}
+	if b2, _ := rt.Peer("node-b"); b2 != peerB || b2.Healthy() {
+		t.Fatal("surviving peer lost its identity or health state")
+	}
+	if c, ok := rt.Peer("node-c"); !ok || !c.Healthy() {
+		t.Fatal("new member must start optimistic-healthy")
+	}
+
+	// A stale (or merely re-delivered) membership must be ignored.
+	if err := rt.SetMembers([]Member{{ID: "node-a", URL: "http://a"}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Members()) != 3 {
+		t.Fatal("stale membership version rolled the ring back")
+	}
+
+	// v2 removes node-b; the local node always stays on its own ring, even
+	// when the membership omits it.
+	if err := rt.SetMembers([]Member{{ID: "node-c", URL: "http://c"}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{}
+	for _, m := range rt.Members() {
+		ids = append(ids, m.ID)
+	}
+	if len(ids) != 2 || ids[0] != "node-a" || ids[1] != "node-c" {
+		t.Fatalf("after v2: members = %v, want [node-a node-c]", ids)
+	}
+	if _, ok := rt.Peer("node-b"); ok {
+		t.Fatal("removed member still has a peer client")
+	}
+	// A member without a URL cannot be routed to and must be rejected.
+	if err := rt.SetMembers([]Member{{ID: "node-d"}}, 3); err == nil {
+		t.Fatal("membership with a URL-less member should error")
+	}
+}
+
+// HandoffSource must name the member that owned a designer before this node
+// did: the rendezvous owner among the other healthy members.
+func TestRouterHandoffSource(t *testing.T) {
+	rt, err := NewRouter(Config{NodeID: "node-a", Peers: []Member{
+		{ID: "node-b", URL: "http://b"},
+		{ID: "node-c", URL: "http://c"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For any name, the handoff source is never self and matches the owner
+	// of a ring without self.
+	others, err := NewRing([]Member{{ID: "node-b"}, {ID: "node-c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("designer-%d", i)
+		src, ok := rt.HandoffSource(name)
+		if !ok {
+			t.Fatalf("%s: no handoff source despite two healthy peers", name)
+		}
+		if got, want := src.Member().ID, others.Owner(name).ID; got != want {
+			t.Fatalf("%s: handoff source %s, want %s", name, got, want)
+		}
+	}
+	// With every other member down there is nobody to pull from.
+	for _, p := range rt.Peers() {
+		p.MarkUnhealthy(errors.New("down"))
+	}
+	if _, ok := rt.HandoffSource("designer-0"); ok {
+		t.Fatal("handoff source reported with all peers down")
+	}
+}
+
 // The health loop must flip an unreachable peer to unhealthy on its own.
 func TestRouterHealthLoop(t *testing.T) {
 	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {

@@ -165,6 +165,19 @@ func (r *Registry) add(name string, e Engine, build BuildFunc) (*Entry, error) {
 	return entry, nil
 }
 
+// Remove drops the named entry, reporting whether it existed. Queries racing
+// the removal finish against the entry they already hold; an in-flight build
+// completes into the orphaned entry and is garbage collected with it. The
+// cluster layer uses this to materialize designer tombstones and to demote
+// indexes after an ownership handoff.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	delete(r.entries, name)
+	return ok
+}
+
 // Get returns the named entry.
 func (r *Registry) Get(name string) (*Entry, bool) {
 	r.mu.RLock()
@@ -468,9 +481,13 @@ type StatusInfo struct {
 	Error  string `json:"error,omitempty"`
 	// Generation counts engine swaps (initial build included); it is the
 	// cache tier's invalidation epoch.
-	Generation uint64          `json:"generation"`
-	Rebuilds   int             `json:"rebuilds"`
-	Metrics    MetricsSnapshot `json:"metrics"`
+	Generation uint64 `json:"generation"`
+	// SpecVersion is the replicated metadata version of the designer's spec
+	// (0 outside a cluster). Shard layers stamp it after the entry snapshot;
+	// the registry itself does not track it.
+	SpecVersion uint64          `json:"spec_version,omitempty"`
+	Rebuilds    int             `json:"rebuilds"`
+	Metrics     MetricsSnapshot `json:"metrics"`
 }
 
 // Status returns the entry's current lifecycle state, engine mode, last

@@ -1,47 +1,66 @@
 #!/usr/bin/env bash
-# End-to-end smoke test: boot a 2-shard fairrankd on a temp data dir, drive
-# the JSON API over real HTTP (dataset create → designer build → suggest →
-# cluster status), then shut it down cleanly with SIGTERM and require exit
-# code 0. CI runs this as its own job; it also works locally:
+# End-to-end smoke test for the fairrankd cluster: boot a 2-node cluster,
+# drive the JSON API over real HTTP (dataset create → designer builds →
+# suggest), then JOIN a third node at runtime and require index handoff (the
+# migrated designer must be loaded from its old owner, never rebuilt), a
+# byte-identical answer through the new owner, a clean SIGTERM drain-leave of
+# the third node, and finally a clean SIGTERM shutdown of the rest with
+# persisted state. CI runs this as its own job; it also works locally:
 #
-#   ./scripts/smoke.sh [port]
+#   ./scripts/smoke.sh [base-port]
 set -euo pipefail
 
-port="${1:-18080}"
-base="http://127.0.0.1:${port}"
+port0="${1:-18080}"
+port1=$((port0 + 1))
+port2=$((port0 + 2))
+base0="http://127.0.0.1:${port0}"
+base1="http://127.0.0.1:${port1}"
+base2="http://127.0.0.1:${port2}"
 workdir="$(mktemp -d)"
 bin="${workdir}/fairrankd"
-data="${workdir}/data"
 
 cleanup() {
-  if [[ -n "${pid:-}" ]] && kill -0 "$pid" 2>/dev/null; then
-    kill -9 "$pid" 2>/dev/null || true
-  fi
+  for p in "${pid0:-}" "${pid1:-}" "${pid2:-}"; do
+    if [[ -n "$p" ]] && kill -0 "$p" 2>/dev/null; then
+      kill -9 "$p" 2>/dev/null || true
+    fi
+  done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
 
+wait_healthy() { # url pid name
+  for _ in $(seq 1 150); do
+    if curl -fs "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$2" 2>/dev/null; then
+      echo "$3 exited before becoming healthy" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "$3 never became healthy" >&2
+  exit 1
+}
+
 echo "== building fairrankd"
 go build -o "$bin" ./cmd/fairrankd
 
-echo "== starting fairrankd with 2 in-process shards on :${port}"
-"$bin" -addr "127.0.0.1:${port}" -shards 2 -data "$data" &
-pid=$!
-
-for _ in $(seq 1 100); do
-  if curl -fs "${base}/healthz" >/dev/null 2>&1; then break; fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "fairrankd exited before becoming healthy" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-curl -fs "${base}/healthz" | grep -q '"ok"'
-echo "== healthz ok"
+echo "== starting a 2-node cluster (node-0 :${port0}, node-1 :${port1})"
+"$bin" -addr "127.0.0.1:${port0}" -node-id node-0 -shards 2 \
+  -peers "node-1=${base1}" -anti-entropy 300ms -health-interval 300ms \
+  -data "${workdir}/data0" >"${workdir}/node0.log" 2>&1 &
+pid0=$!
+"$bin" -addr "127.0.0.1:${port1}" -node-id node-1 -shards 2 \
+  -peers "node-0=${base0}" -anti-entropy 300ms -health-interval 300ms \
+  -data "${workdir}/data1" >"${workdir}/node1.log" 2>&1 &
+pid1=$!
+wait_healthy "$base0" "$pid0" node-0
+wait_healthy "$base1" "$pid1" node-1
+echo "== both nodes healthy"
 
 # A small 2-attribute dataset where the protected group scores high, so fair
 # functions exist and suggest has an easy answer.
-curl -fs -X POST "${base}/v1/datasets" -H 'Content-Type: application/json' -d '{
+curl -fs -X POST "${base0}/v1/datasets" -H 'Content-Type: application/json' -d '{
   "id": "smoke",
   "dataset": {
     "scoring": ["merit", "impact"],
@@ -52,38 +71,95 @@ curl -fs -X POST "${base}/v1/datasets" -H 'Content-Type: application/json' -d '{
                "values": [0, 0, 0, 0, 1, 1, 1, 1]}]
   }
 }' | grep -q '"id":"smoke"'
-echo "== dataset created"
+echo "== dataset created (replicates to both nodes)"
 
-curl -fs -X POST "${base}/v1/designers?wait=true" -H 'Content-Type: application/json' -d '{
-  "id": "smoke-designer",
-  "spec": {
-    "dataset": "smoke",
-    "oracle": {"kind": "min_share", "attr": "group", "group": "protected",
-               "top_frac": 0.5, "share": 0.25},
-    "config": {"mode": "2d"}
-  }
-}' | grep -q '"status":"ready"'
-echo "== designer built and ready"
+# smoke-designer-0 is owned by node-1 on the 2-ring and migrates to node-2
+# when it joins; smoke-designer-6 stays on node-0 throughout (both are pure
+# functions of the ids, so this is stable across runs).
+for d in smoke-designer-0 smoke-designer-6; do
+  curl -fs -X POST "${base0}/v1/designers?wait=true" -H 'Content-Type: application/json' -d '{
+    "id": "'"$d"'",
+    "spec": {
+      "dataset": "smoke",
+      "oracle": {"kind": "min_share", "attr": "group", "group": "protected",
+                 "top_frac": 0.5, "share": 0.25},
+      "config": {"mode": "2d"}
+    }
+  }' | grep -q '"status":"ready"'
+done
+echo "== designers built and ready"
 
-answer="$(curl -fs -X POST "${base}/v1/designers/smoke-designer/suggest" \
-  -H 'Content-Type: application/json' -d '{"weights": [0.5, 0.5]}')"
-echo "   suggest answer: ${answer}"
-echo "$answer" | grep -q '"distance"'
-echo "== suggest answered"
+query='{"weights": [0.5, 0.5]}'
+answer0="$(curl -fs -X POST "${base0}/v1/designers/smoke-designer-0/suggest" \
+  -H 'Content-Type: application/json' -d "$query")"
+answer1="$(curl -fs -X POST "${base1}/v1/designers/smoke-designer-0/suggest" \
+  -H 'Content-Type: application/json' -d "$query")"
+echo "   suggest answer: ${answer0}"
+echo "$answer0" | grep -q '"distance"'
+[[ "$answer0" == "$answer1" ]] || { echo "answers differ across entry nodes" >&2; exit 1; }
+echo "== suggest answered identically via both nodes"
 
-cluster="$(curl -fs "${base}/cluster")"
-echo "$cluster" | grep -q '"node_id":"node-0"'
-[[ "$(echo "$cluster" | jq '.shards | length')" == "2" ]]
+curl -fs "${base0}/cluster" | jq -e '.shards | length == 2' >/dev/null
 echo "== cluster status reports 2 shards"
 
-echo "== shutting down (SIGTERM)"
-kill -TERM "$pid"
-status=0
-wait "$pid" || status=$?
-if [[ $status -ne 0 ]]; then
-  echo "fairrankd exited with status ${status}" >&2
+echo "== joining node-2 at runtime (:${port2})"
+"$bin" -addr "127.0.0.1:${port2}" -node-id node-2 -shards 2 \
+  -join "$base0" -anti-entropy 300ms -health-interval 300ms \
+  -data "${workdir}/data2" >"${workdir}/node2.log" 2>&1 &
+pid2=$!
+wait_healthy "$base2" "$pid2" node-2
+
+# The migrated designer must arrive on node-2 by index handoff — loaded from
+# the old owner's persisted stream, never rebuilt.
+for _ in $(seq 1 100); do
+  if grep -q 'handoff: designer "smoke-designer-0" index loaded' "${workdir}/node2.log"; then break; fi
+  sleep 0.1
+done
+grep -q 'handoff: designer "smoke-designer-0" index loaded' "${workdir}/node2.log" \
+  || { echo "node-2 never received the index handoff" >&2; cat "${workdir}/node2.log" >&2; exit 1; }
+if grep -q 'rebuild: designer "smoke-designer-0"' "${workdir}/node2.log"; then
+  echo "node-2 rebuilt the migrated designer instead of loading the handoff" >&2
   exit 1
 fi
-[[ -f "${data}/smoke.dataset.json" ]] || { echo "dataset not persisted" >&2; exit 1; }
-[[ -f "${data}/smoke-designer.index" ]] || { echo "index not persisted" >&2; exit 1; }
+echo "== handoff verified: no rebuild logged on the new owner"
+
+answer2="$(curl -fs -X POST "${base2}/v1/designers/smoke-designer-0/suggest" \
+  -H 'Content-Type: application/json' -d "$query")"
+[[ "$answer2" == "$answer0" ]] || { echo "post-join answer differs: ${answer2}" >&2; exit 1; }
+curl -fs "${base0}/cluster" | jq -e '.members | length == 3' >/dev/null
+echo "== 3-node ring serves byte-identical answers"
+
+echo "== SIGTERM node-2 (drain-leave)"
+kill -TERM "$pid2"
+status=0; wait "$pid2" || status=$?
+[[ $status -eq 0 ]] || { echo "node-2 exited with status ${status}" >&2; exit 1; }
+grep -q 'left the ring' "${workdir}/node2.log" \
+  || { echo "node-2 did not announce its leave" >&2; cat "${workdir}/node2.log" >&2; exit 1; }
+
+# The survivors take the designer back (handoff push from the drain) and the
+# answer is still the same bytes.
+for _ in $(seq 1 100); do
+  if curl -fs "${base0}/cluster" | jq -e '.members | length == 2' >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fs "${base0}/cluster" | jq -e '.members | length == 2' >/dev/null \
+  || { echo "survivors still list node-2 after its leave" >&2; exit 1; }
+for _ in $(seq 1 100); do
+  post="$(curl -fs -X POST "${base0}/v1/designers/smoke-designer-0/suggest" \
+    -H 'Content-Type: application/json' -d "$query" || true)"
+  [[ "$post" == "$answer0" ]] && break
+  sleep 0.1
+done
+[[ "$post" == "$answer0" ]] || { echo "post-leave answer differs: ${post}" >&2; exit 1; }
+echo "== clean drain-leave: designer handed back, answers unchanged"
+
+echo "== shutting the cluster down (SIGTERM)"
+kill -TERM "$pid0" "$pid1"
+status=0; wait "$pid0" || status=$?
+[[ $status -eq 0 ]] || { echo "node-0 exited with status ${status}" >&2; exit 1; }
+status=0; wait "$pid1" || status=$?
+[[ $status -eq 0 ]] || { echo "node-1 exited with status ${status}" >&2; exit 1; }
+[[ -f "${workdir}/data0/smoke.dataset.json" ]] || { echo "dataset not persisted" >&2; exit 1; }
+ls "${workdir}"/data*/smoke-designer-0.index >/dev/null 2>&1 \
+  || { echo "index not persisted anywhere" >&2; exit 1; }
 echo "== clean shutdown, state persisted: smoke test passed"

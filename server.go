@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -35,13 +36,28 @@ import (
 // serving index through one atomic load, so queries never wait on builds.
 type Server struct {
 	router *cluster.Router
+	meta   *cluster.MetaStore
 
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 	specs    map[string]DesignerSpec
+	pulling  map[string]bool // designer ids with an index handoff/build in flight
+
+	// memberMu serializes membership read-modify-originate (join, leave,
+	// force-remove): two concurrent joins through the same node must not
+	// both read the old member list and silently drop each other.
+	memberMu sync.Mutex
+	// applyMu serializes applyEntries batches so Apply-then-materialize is
+	// atomic per entry (see applyEntries).
+	applyMu   sync.Mutex
+	advertise string
+	logf      func(format string, args ...any)
 
 	mux   *http.ServeMux
 	start time.Time
+
+	stopOnce sync.Once
+	stopc    chan struct{}
 }
 
 // ClusterPeer identifies one remote fairrankd node of a cluster.
@@ -62,10 +78,26 @@ type ClusterConfig struct {
 	Shards int
 	// Peers are the other nodes of the cluster.
 	Peers []ClusterPeer
+	// AdvertiseURL is this node's own HTTP base URL as other members must
+	// reach it ("http://host:port"). It names this node in gossiped
+	// membership, so it is required on any node that hosts runtime joins
+	// or joins a cluster itself; purely static fleets may leave it empty.
+	AdvertiseURL string
 	// HealthInterval is the period of the background peer health probe;
 	// 0 disables the loop (peers are then marked unhealthy only by failed
 	// forwards, and never recover).
 	HealthInterval time.Duration
+	// AntiEntropyInterval is the period of the background anti-entropy
+	// pass: each tick the node exchanges a versioned metadata digest with
+	// one random healthy peer and pulls or pushes whatever differs, so a
+	// create or delete issued while a peer was down converges once it
+	// returns. 0 disables the pass (metadata then replicates only through
+	// the best-effort create fan-out).
+	AntiEntropyInterval time.Duration
+	// Logf receives cluster lifecycle events (membership changes, index
+	// handoffs, fallback rebuilds). nil discards them; cmd/fairrankd wires
+	// log.Printf so operators can observe handoff vs rebuild decisions.
+	Logf func(format string, args ...any)
 }
 
 // NewServer returns an empty single-node server. Call LoadDir to restore
@@ -87,28 +119,42 @@ func NewClusterServer(cfg ClusterConfig) (*Server, error) {
 		peers[i] = cluster.Member{ID: p.ID, URL: p.URL}
 	}
 	router, err := cluster.NewRouter(cluster.Config{
-		NodeID: cfg.NodeID,
-		Shards: cfg.Shards,
-		Peers:  peers,
+		NodeID:       cfg.NodeID,
+		AdvertiseURL: strings.TrimSuffix(cfg.AdvertiseURL, "/"),
+		Shards:       cfg.Shards,
+		Peers:        peers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		router:   router,
-		datasets: make(map[string]*Dataset),
-		specs:    make(map[string]DesignerSpec),
-		start:    time.Now(),
+		router:    router,
+		meta:      cluster.NewMetaStore(),
+		datasets:  make(map[string]*Dataset),
+		specs:     make(map[string]DesignerSpec),
+		pulling:   make(map[string]bool),
+		advertise: strings.TrimSuffix(cfg.AdvertiseURL, "/"),
+		logf:      cfg.Logf,
+		start:     time.Now(),
+		stopc:     make(chan struct{}),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	router.StartHealth(cfg.HealthInterval)
+	s.startAntiEntropy(cfg.AntiEntropyInterval)
 	return s, nil
 }
 
-// Close stops the server's background peer health loop. Serving state is
-// untouched; in-flight builds finish on their own goroutines.
-func (s *Server) Close() { s.router.Close() }
+// Close stops the server's background peer health and anti-entropy loops.
+// Serving state is untouched; in-flight builds finish on their own
+// goroutines.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.router.Close()
+}
 
 // shard returns the in-process shard registry that holds id.
 func (s *Server) shard(id string) *service.Registry {
@@ -181,7 +227,14 @@ func validateID(id string) error {
 	return nil
 }
 
-// AddDataset registers a dataset under an id.
+// Replicated metadata keys: one namespace per entry kind, ordered so that a
+// sorted batch applies datasets before the designer specs that reference
+// them (and the ring last; see applyEntries).
+func metaKeyDataset(id string) string  { return "dataset/" + id }
+func metaKeyDesigner(id string) string { return "designer/" + id }
+
+// AddDataset registers a dataset under an id and records it in the
+// replicated metadata store, versioned for anti-entropy repair.
 func (s *Server) AddDataset(id string, ds *Dataset) error {
 	if err := validateID(id); err != nil {
 		return err
@@ -190,11 +243,17 @@ func (s *Server) AddDataset(id string, ds *Dataset) error {
 		return errors.New("fairrank: nil dataset")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.datasets[id]; dup {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: dataset %q", ErrDuplicateID, id)
 	}
 	s.datasets[id] = ds
+	s.mu.Unlock()
+	payload, err := json.Marshal(SpecOfDataset(ds))
+	if err != nil {
+		return err
+	}
+	s.meta.Put(metaKeyDataset(id), payload)
 	return nil
 }
 
@@ -222,12 +281,13 @@ func (s *Server) CreateDesigner(id string, spec DesignerSpec) error {
 	}
 	if !s.router.OwnedLocally(id) {
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		if _, dup := s.specs[id]; dup {
+			s.mu.Unlock()
 			return fmt.Errorf("%w: designer %q", ErrDuplicateID, id)
 		}
 		s.specs[id] = spec
-		return nil
+		s.mu.Unlock()
+		return s.putDesignerMeta(id, spec)
 	}
 	// The shard registry is the authority on name collisions; an existing
 	// designer's spec must survive a failed duplicate create untouched.
@@ -245,6 +305,58 @@ func (s *Server) CreateDesigner(id string, spec DesignerSpec) error {
 		s.mu.Unlock()
 		return err
 	}
+	return s.putDesignerMeta(id, spec)
+}
+
+// putDesignerMeta records a designer spec in the replicated metadata store —
+// but only while that spec is still the current one. A delete (or a
+// competing create) that interleaved between the spec store and this call
+// must win: blindly Putting here would mint a live version above the
+// tombstone and resurrect the designer in metadata while the local spec and
+// index stay gone. The losing create evicts whatever entry it landed and
+// reports the designer unknown.
+func (s *Server) putDesignerMeta(id string, spec DesignerSpec) error {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	cur, ok := s.specs[id]
+	current := ok && reflect.DeepEqual(cur, spec)
+	if current {
+		s.meta.Put(metaKeyDesigner(id), payload)
+	}
+	s.mu.Unlock()
+	if !current {
+		s.shard(id).Remove(id)
+		return fmt.Errorf("%w: designer %q (superseded mid-create)", ErrUnknownID, id)
+	}
+	return nil
+}
+
+// DeleteDesigner removes a designer: its spec, its local index (if any), and
+// — through the replicated tombstone — every copy on the rest of the
+// cluster. The tombstone's version supersedes the live entry, so a peer that
+// was down during the delete discards its copy on its next anti-entropy
+// exchange instead of resurrecting the designer.
+func (s *Server) DeleteDesigner(id string) error {
+	s.mu.Lock()
+	_, known := s.specs[id]
+	s.mu.Unlock()
+	if !known {
+		if _, held := s.shard(id).Get(id); !held {
+			return fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+		}
+	}
+	// Tombstone FIRST, then evict: an activation racing this delete
+	// re-checks the tombstone after it lands its entry (localEntry,
+	// ensureOwned), so this order guarantees either the Remove below or the
+	// racer's own re-check evicts the index — never a spec-less zombie.
+	s.meta.Delete(metaKeyDesigner(id))
+	s.mu.Lock()
+	delete(s.specs, id)
+	s.mu.Unlock()
+	s.shard(id).Remove(id)
 	return nil
 }
 
@@ -300,7 +412,22 @@ func (s *Server) localEntry(id string) (*service.Entry, error) {
 			return entry, nil
 		}
 	}
+	if err == nil && s.designerDeleted(id) {
+		// A delete tombstoned the designer between the spec read above and
+		// the Create; evict the just-activated entry instead of serving a
+		// deleted designer.
+		reg.Remove(id)
+		return nil, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+	}
 	return entry, err
+}
+
+// designerDeleted reports whether the designer carries a replicated
+// tombstone — the re-check activation paths run after landing an entry, so
+// a DELETE racing them cannot leave a zombie index serving.
+func (s *Server) designerDeleted(id string) bool {
+	e, ok := s.meta.Get(metaKeyDesigner(id))
+	return ok && e.Deleted
 }
 
 // WaitReady blocks until the designer's in-flight build (if any) finishes,
@@ -324,7 +451,7 @@ func (s *Server) WaitReady(ctx context.Context, id string) error {
 // build progressing rather than "remote" forever.
 func (s *Server) DesignerStatus(id string) (service.StatusInfo, error) {
 	if entry, ok := s.shard(id).Get(id); ok {
-		return entry.Status(), nil
+		return s.stampSpecVersion(entry.Status()), nil
 	}
 	s.mu.RLock()
 	_, known := s.specs[id]
@@ -334,10 +461,20 @@ func (s *Server) DesignerStatus(id string) (service.StatusInfo, error) {
 	}
 	if s.router.OwnedLocally(id) {
 		if entry, err := s.localEntry(id); err == nil {
-			return entry.Status(), nil
+			return s.stampSpecVersion(entry.Status()), nil
 		}
 	}
-	return service.StatusInfo{Name: id, Status: service.StatusRemote}, nil
+	return s.stampSpecVersion(service.StatusInfo{Name: id, Status: service.StatusRemote}), nil
+}
+
+// stampSpecVersion annotates a status snapshot with the replicated metadata
+// version of the designer's spec, so operators can compare convergence
+// across nodes (`spec_version` equal everywhere ⇒ anti-entropy has settled).
+func (s *Server) stampSpecVersion(info service.StatusInfo) service.StatusInfo {
+	if e, ok := s.meta.Get(metaKeyDesigner(info.Name)); ok && !e.Deleted {
+		info.SpecVersion = e.Version
+	}
+	return info
 }
 
 // Suggest answers one design query against a designer's serving index.
@@ -527,7 +664,47 @@ func (s *Server) SaveDir(dir string) error {
 			return fmt.Errorf("fairrank: saving index of %q: %w", id, err)
 		}
 	}
-	return nil
+	// Deleted designers must stay deleted across a restart: drop the files a
+	// previous SaveDir wrote for ids that now carry a tombstone, or the next
+	// LoadDir would resurrect them. The version vector (below) additionally
+	// persists the tombstones themselves, so even a peer re-offering its
+	// stale live copy after our restart cannot resurrect the designer.
+	versions := make([]metaVersionRecord, 0, s.meta.Len())
+	for _, e := range s.meta.Snapshot() {
+		rec := metaVersionRecord{Key: e.Key, Version: e.Version, Deleted: e.Deleted}
+		if e.Key == cluster.RingKey {
+			// The membership payload is tiny and has no manifest file of
+			// its own; persisting it whole lets a restarted node resume on
+			// its last known ring (and at its version, so memberships it
+			// originates are not silently ignored by peers).
+			rec.Payload = e.Payload
+		}
+		versions = append(versions, rec)
+		if !e.Deleted || !strings.HasPrefix(e.Key, "designer/") {
+			continue
+		}
+		id := strings.TrimPrefix(e.Key, "designer/")
+		os.Remove(filepath.Join(dir, id+".designer.json"))
+		os.Remove(filepath.Join(dir, id+".index"))
+	}
+	return writeJSONFile(filepath.Join(dir, clusterMetaFile), versions)
+}
+
+// clusterMetaFile persists the replicated-metadata version vector alongside
+// the data-dir manifests. Without it a restart would re-Put every loaded
+// spec at version 1, below any tombstone or newer version the rest of the
+// cluster holds — and a designer re-created after the restart would be
+// silently deleted by the next anti-entropy exchange.
+const clusterMetaFile = "cluster-meta.json"
+
+// metaVersionRecord is one persisted (key, version, tombstone) triple.
+// Payload is carried only for the membership entry, whose bytes live
+// nowhere else in the data dir.
+type metaVersionRecord struct {
+	Key     string          `json:"key"`
+	Version uint64          `json:"version"`
+	Deleted bool            `json:"deleted,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
 // LoadDir restores SaveDir state: datasets first, then designers — from
@@ -571,6 +748,23 @@ func (s *Server) LoadDir(dir string) error {
 			return err
 		}
 	}
+	// Lift the re-Put entries (all at version 1 now) back to their persisted
+	// versions and recreate tombstones, so this replica rejoins anti-entropy
+	// where it left off instead of below the rest of the cluster. Records
+	// that carry payload bytes (the membership) are applied whole, restoring
+	// the last known ring at its version.
+	var versions []metaVersionRecord
+	if err := readJSONFile(filepath.Join(dir, clusterMetaFile), &versions); err == nil {
+		for _, r := range versions {
+			if len(r.Payload) > 0 {
+				s.applyEntries([]cluster.MetaEntry{{
+					Key: r.Key, Version: r.Version, Deleted: r.Deleted, Payload: r.Payload,
+				}})
+				continue
+			}
+			s.meta.Restore(r.Key, r.Version, r.Deleted)
+		}
+	}
 	return nil
 }
 
@@ -588,6 +782,9 @@ func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
 	s.mu.Lock()
 	s.specs[id] = spec
 	s.mu.Unlock()
+	if err := s.putDesignerMeta(id, spec); err != nil {
+		return err
+	}
 	if !s.router.OwnedLocally(id) {
 		return nil
 	}
@@ -619,7 +816,11 @@ func (s *Server) ClusterStatus() ClusterStatus {
 		owner := s.router.Owner(id).ID
 		owned[owner] = append(owned[owner], id)
 	}
-	status := ClusterStatus{NodeID: s.router.NodeID()}
+	status := ClusterStatus{
+		NodeID:      s.router.NodeID(),
+		RingVersion: s.router.RingVersion(),
+		MetaEntries: s.meta.Len(),
+	}
 	for _, m := range s.router.Members() {
 		ms := MemberStatus{ID: m.ID, URL: m.URL, Self: m.ID == s.router.NodeID(),
 			Healthy: true, Designers: owned[m.ID]}

@@ -192,9 +192,18 @@ type DesignerSpec struct {
 // ClusterStatus is the wire shape of GET /cluster: one node's view of the
 // ring, who owns which designer, and the per-shard metrics rollup.
 type ClusterStatus struct {
-	NodeID  string         `json:"node_id"`
-	Members []MemberStatus `json:"members"`
-	Shards  []ShardStatus  `json:"shards"`
+	NodeID string `json:"node_id"`
+	// RingVersion is the version of the membership the node's ring was
+	// built from: 0 for the static boot configuration, then the version of
+	// the latest applied ring/members entry. Nodes whose RingVersion
+	// matches agree on ownership of every designer.
+	RingVersion uint64 `json:"ring_version"`
+	// MetaEntries counts the replicated metadata entries this node holds
+	// (tombstones included) — equal counts across nodes after an
+	// anti-entropy round indicate converged metadata.
+	MetaEntries int            `json:"meta_entries"`
+	Members     []MemberStatus `json:"members"`
+	Shards      []ShardStatus  `json:"shards"`
 }
 
 // MemberStatus is one ring member as seen from the reporting node: identity,
