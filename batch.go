@@ -2,11 +2,13 @@ package fairrank
 
 import (
 	"errors"
-	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fairrank/internal/engine"
 	"fairrank/internal/geom"
+	"fairrank/internal/planner"
 )
 
 // BatchResult is one slot of a SuggestBatch answer: exactly one of
@@ -17,21 +19,26 @@ type BatchResult struct {
 }
 
 // scratchPool recycles per-worker batch arenas (ranking buffers, polar
-// scratch) across SuggestBatch calls, so steady-state batch traffic costs a
-// constant number of allocations per chunk regardless of engine.
+// scratch, resumable-kernel cursors) across SuggestBatch calls, so
+// steady-state batch traffic costs a constant number of allocations per
+// chunk regardless of engine. Scratches are Reset before going back — the
+// cursor must not leak across batches and grown buffers must not pin memory.
 var scratchPool = sync.Pool{New: func() any { return new(engine.Scratch) }}
 
 // SuggestBatch answers many design queries in one call. Results line up
 // with the queries; each slot holds the same answer (and the same error,
 // e.g. ErrUnsatisfiable) that Suggest would return for that query alone.
 //
-// The batch path amortizes per-call overhead two ways: queries fan out
-// across GOMAXPROCS workers in contiguous chunks, and every engine runs an
-// arena kernel over a pooled per-worker Scratch — the answer vectors and
-// Suggestion structs of a chunk come from two arena allocations, and the
-// ranking/polar scratch is reused across the chunk's queries, instead of a
-// few allocations per query. The kernels are engine-owned (internal/engine);
-// this file only fans out and converts, so it never dispatches on mode.
+// Each batch goes through the adaptive planner (internal/planner) first:
+// bit-identical duplicate queries collapse to one kernel slot whose answer
+// fans back out, the survivors are sorted for angular locality so the
+// resumable kernels (engine.SuggestBatchSorted) reuse their cursors, and the
+// chunk size and worker count come from an EWMA of what recent kernels
+// actually cost — observables only, no statistics tables. Workers claim
+// chunks off a shared queue, so a straggling chunk never idles the rest of
+// the pool. Every planner decision is a permutation plus fan-out over
+// cursor-validated kernels, so answers are byte-identical to the naive
+// per-query loop no matter what the planner picks.
 func (d *Designer) SuggestBatch(queries [][]float64) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
@@ -41,53 +48,84 @@ func (d *Designer) SuggestBatch(queries [][]float64) []BatchResult {
 	for i, q := range queries {
 		qs[i] = geom.Vector(q)
 	}
-	raw := make([]engine.Result, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
+
+	p := d.plan.Plan(qs)
+	kernelQs := qs
+	if !p.PassThrough() {
+		kernelQs = p.Queries
 	}
-	if workers <= 1 {
-		d.suggestChunk(raw, qs, results)
-		return results
+	raw := make([]engine.Result, len(kernelQs))
+
+	start := time.Now()
+	hits := d.runKernel(raw, kernelQs, &p)
+	d.plan.Observe(&p, len(kernelQs), float64(time.Since(start).Nanoseconds()), hits)
+
+	if p.PassThrough() {
+		convertResults(results, raw)
+	} else {
+		d.scatterPlanned(results, raw, &p)
 	}
-	// Contiguous chunks, one per worker: per-query costs within a batch are
-	// near-uniform, and chunking avoids contending on a shared counter when
-	// individual queries are only nanoseconds of work (the 2D hot path).
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * len(queries) / workers
-		hi := (w + 1) * len(queries) / workers
-		// Unreachable while workers ≤ len(queries) (every chunk then holds
-		// ≥ 1 query); kept as a guard so a future change to the clamp above
-		// cannot start spawning workers over empty ranges.
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			d.suggestChunk(raw[lo:hi], qs[lo:hi], results[lo:hi])
-		}(lo, hi)
-	}
-	wg.Wait()
 	return results
 }
 
-// suggestChunk runs the engine kernel over one chunk with a pooled scratch
-// and converts the raw results into the public shape, drawing the Suggestion
-// structs from one arena.
-func (d *Designer) suggestChunk(raw []engine.Result, qs []geom.Vector, results []BatchResult) {
-	s := scratchPool.Get().(*engine.Scratch)
-	d.eng.SuggestBatch(raw, qs, s)
-	scratchPool.Put(s)
+// runKernel executes the engine kernel over the scheduled queries per the
+// plan's execution shape: serial on the caller's goroutine for cheap
+// batches, otherwise p.Workers goroutines claiming contiguous chunks off a
+// shared atomic queue (work stealing at the batch layer — a worker that
+// lands on an expensive chunk simply claims fewer). Sorted plans run the
+// resumable kernel variant; the cursor lives in the worker's scratch and
+// survives across the chunks one worker claims. Returns the resume-hit
+// count drained from the scratches.
+func (d *Designer) runKernel(raw []engine.Result, qs []geom.Vector, p *planner.Plan) int64 {
+	run := d.eng.SuggestBatch
+	if p.Sorted {
+		run = d.eng.SuggestBatchSorted
+	}
+	if p.Workers <= 1 {
+		s := scratchPool.Get().(*engine.Scratch)
+		run(raw, qs, s)
+		hits := s.TakeResumeHits()
+		s.Reset()
+		scratchPool.Put(s)
+		return hits
+	}
+	chunk := p.ChunkSize
+	numChunks := (len(qs) + chunk - 1) / chunk
+	var next, hits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := scratchPool.Get().(*engine.Scratch)
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					break
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > len(qs) {
+					hi = len(qs)
+				}
+				run(raw[lo:hi], qs[lo:hi], s)
+			}
+			hits.Add(s.TakeResumeHits())
+			s.Reset()
+			scratchPool.Put(s)
+		}()
+	}
+	wg.Wait()
+	return hits.Load()
+}
+
+// convertResults turns raw kernel results into the public shape 1:1, drawing
+// the Suggestion structs from one arena — the pass-through path.
+func convertResults(results []BatchResult, raw []engine.Result) {
 	arena := make([]Suggestion, len(raw))
 	for i, r := range raw {
 		if r.Err != nil {
-			err := r.Err
-			if errors.Is(err, engine.ErrUnsatisfiable) {
-				err = ErrUnsatisfiable
-			}
-			results[i].Err = err
+			results[i].Err = publicErr(r.Err)
 			continue
 		}
 		sug := &arena[i]
@@ -96,4 +134,47 @@ func (d *Designer) suggestChunk(raw []engine.Result, qs []geom.Vector, results [
 		sug.AlreadyFair = r.Distance == 0
 		results[i].Suggestion = sug
 	}
+}
+
+// scatterPlanned fans the deduplicated, locality-ordered kernel answers back
+// to the original slots: slot i receives schedule position SlotOf[i]. The
+// representative slot keeps the kernel's weight vector; duplicate slots get
+// their own copy (carved from one arena), so a caller mutating one slot's
+// Weights never aliases another.
+func (d *Designer) scatterPlanned(results []BatchResult, raw []engine.Result, p *planner.Plan) {
+	arena := make([]Suggestion, len(results))
+	dupFloats := 0
+	for i, k := range p.SlotOf {
+		if i != p.Reps[k] && raw[k].Err == nil {
+			dupFloats += len(raw[k].Weights)
+		}
+	}
+	wArena := make([]float64, 0, dupFloats)
+	for i, k := range p.SlotOf {
+		r := raw[k]
+		if r.Err != nil {
+			results[i].Err = publicErr(r.Err)
+			continue
+		}
+		w := r.Weights
+		if i != p.Reps[k] {
+			off := len(wArena)
+			wArena = append(wArena, w...) // capacity pre-counted: never reallocates
+			w = wArena[off:len(wArena):len(wArena)]
+		}
+		sug := &arena[i]
+		sug.Weights = w
+		sug.Distance = r.Distance
+		sug.AlreadyFair = r.Distance == 0
+		results[i].Suggestion = sug
+	}
+}
+
+// publicErr maps the engine sentinel onto the package sentinel, leaving
+// every other kernel error as is.
+func publicErr(err error) error {
+	if errors.Is(err, engine.ErrUnsatisfiable) {
+		return ErrUnsatisfiable
+	}
+	return err
 }

@@ -140,9 +140,102 @@ func benchSuggestBatch(b *testing.B, mode fairrank.Mode) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(fx.queries)), "ns/query")
 }
 
+// clusteredQueries builds size unique queries packed around a few hot
+// directions — the realistic "everyone tweaks the same popular weighting"
+// shape. Unique bit patterns (no dedup win), but angular neighbors: the
+// planner's locality sort plus the resumable kernels is the whole gain.
+func clusteredQueries(d, size int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	centers := []float64{0.15, 0.7, 1.2}
+	out := make([][]float64, size)
+	for i := range out {
+		theta := centers[i%len(centers)] + 0.015*r.NormFloat64()
+		theta = math.Min(math.Max(theta, 0.001), math.Pi/2-0.001)
+		w := make([]float64, d)
+		w[0] = math.Cos(theta)
+		w[1] = math.Sin(theta)
+		for j := 2; j < d; j++ {
+			w[j] = 0.3 + 0.001*r.Float64()
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// hotspotQueries builds size slots drawn from a pool of uniq exact duplicate
+// vectors (dup rate 1 − uniq/size) — the cache-miss traffic a service sees
+// when many clients probe the same handful of directions. The planner's
+// dedup answers each unique direction once and fans the answer out.
+func hotspotQueries(d, size, uniq int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	pool := make([][]float64, uniq)
+	for i := range pool {
+		w := make([]float64, d)
+		var norm float64
+		for j := range w {
+			w[j] = r.Float64() + 1e-3
+			norm += w[j] * w[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range w {
+			w[j] /= norm
+		}
+		pool[i] = w
+	}
+	out := make([][]float64, size)
+	for i := range out {
+		out[i] = pool[r.Intn(uniq)]
+	}
+	return out
+}
+
+// benchSuggestBatchWith is benchSuggestBatch over a caller-supplied workload
+// against the shared fixture designer (planner EWMAs stay warm across
+// iterations, as they would in a serving process).
+func benchSuggestBatchWith(b *testing.B, mode fairrank.Mode, queries [][]float64) {
+	fx := batchFixtureFor(b, mode)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range fx.d.SuggestBatch(queries) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/query")
+}
+
 func BenchmarkBatch2DSuggest(b *testing.B)          { benchSuggestLoop(b, fairrank.Mode2D) }
 func BenchmarkBatch2DSuggestBatch(b *testing.B)     { benchSuggestBatch(b, fairrank.Mode2D) }
 func BenchmarkBatchExactSuggest(b *testing.B)       { benchSuggestLoop(b, fairrank.ModeExact) }
 func BenchmarkBatchExactSuggestBatch(b *testing.B)  { benchSuggestBatch(b, fairrank.ModeExact) }
 func BenchmarkBatchApproxSuggest(b *testing.B)      { benchSuggestLoop(b, fairrank.ModeApprox) }
 func BenchmarkBatchApproxSuggestBatch(b *testing.B) { benchSuggestBatch(b, fairrank.ModeApprox) }
+
+func BenchmarkBatch2DSuggestBatchClustered(b *testing.B) {
+	benchSuggestBatchWith(b, fairrank.Mode2D, clusteredQueries(2, 512, 7))
+}
+func BenchmarkBatch2DSuggestBatchHotspot(b *testing.B) {
+	benchSuggestBatchWith(b, fairrank.Mode2D, hotspotQueries(2, 512, 8, 7))
+}
+func BenchmarkBatchApproxSuggestBatchClustered(b *testing.B) {
+	benchSuggestBatchWith(b, fairrank.ModeApprox, clusteredQueries(3, 512, 7))
+}
+func BenchmarkBatchApproxSuggestBatchHotspot(b *testing.B) {
+	benchSuggestBatchWith(b, fairrank.ModeApprox, hotspotQueries(3, 512, 8, 7))
+}
+
+// The exact hotspot draws its pool from the fixture's fair-only workload
+// (same per-query kernel work as BenchmarkBatchExactSuggestBatch, so the two
+// are directly comparable); an unfair pool would measure the NLP solver, not
+// the batch path.
+func BenchmarkBatchExactSuggestBatchHotspot(b *testing.B) {
+	fx := batchFixtureFor(b, fairrank.ModeExact)
+	r := rand.New(rand.NewSource(7))
+	queries := make([][]float64, 512)
+	for i := range queries {
+		queries[i] = fx.queries[r.Intn(8)]
+	}
+	benchSuggestBatchWith(b, fairrank.ModeExact, queries)
+}

@@ -44,6 +44,7 @@ import (
 	"fairrank/internal/engine"
 	"fairrank/internal/fairness"
 	"fairrank/internal/geom"
+	"fairrank/internal/planner"
 	"fairrank/internal/ranking"
 )
 
@@ -214,6 +215,9 @@ type Designer struct {
 	mode   Mode
 	refine bool
 	eng    engine.Engine
+	// plan is the adaptive batch planner's feedback state (EWMAs and
+	// counters); the zero value is ready, see SuggestBatch.
+	plan planner.State
 }
 
 // NewDesigner preprocesses the dataset for the given oracle. This is the
@@ -290,6 +294,44 @@ type DriftReport = engine.DriftReport
 // grid cells at their stored functions.
 func (d *Designer) Revalidate(ds *Dataset) (DriftReport, error) {
 	return d.eng.Revalidate(ds, d.oracle)
+}
+
+// BatchPlanStats is a snapshot of the adaptive batch planner behind
+// SuggestBatch: how many batches were planned versus passed through, how
+// many query slots were answered by duplicate fan-out or a resumed kernel
+// cursor, the most recent chunk size, and the two feedback EWMAs the
+// decisions are made from.
+type BatchPlanStats struct {
+	// Batches counts SuggestBatch calls; PlannedBatches those that got a
+	// dedup/sort schedule; SortedBatches those whose schedule was
+	// locality-sorted.
+	Batches, PlannedBatches, SortedBatches int64
+	// Slots counts query slots seen; DedupedSlots those answered by fanning
+	// out a duplicate's answer; ResumeHits the kernel lookups that reused a
+	// validated cursor instead of a from-scratch descent.
+	Slots, DedupedSlots, ResumeHits int64
+	// LastChunkSize is the chunk size of the most recent batch.
+	LastChunkSize int64
+	// KernelNsEWMA and DupRateEWMA are the planner's two observables: the
+	// smoothed kernel cost per scheduled query and the smoothed
+	// duplicate-slot fraction.
+	KernelNsEWMA, DupRateEWMA float64
+}
+
+// BatchPlanStats snapshots the batch planner's counters.
+func (d *Designer) BatchPlanStats() BatchPlanStats {
+	st := d.plan.Stats()
+	return BatchPlanStats{
+		Batches:        st.Batches,
+		PlannedBatches: st.PlannedBatches,
+		SortedBatches:  st.SortedBatches,
+		Slots:          st.Slots,
+		DedupedSlots:   st.DedupedSlots,
+		ResumeHits:     st.ResumeHits,
+		LastChunkSize:  st.LastChunkSize,
+		KernelNsEWMA:   st.KernelNsEWMA,
+		DupRateEWMA:    st.DupRateEWMA,
+	}
 }
 
 // AngularDistance returns the angular distance (radians) between two weight

@@ -71,6 +71,15 @@ func (e mdEngine) SuggestBatch(dst []engine.Result, queries []geom.Vector, s *en
 	}
 }
 
+// SuggestBatchSorted delegates to the stateless kernel: the exact engine's
+// cost is dominated by per-query NLP solves over the satisfactory regions,
+// which no cursor can shortcut, so there is no locality win to chase. (The
+// planner's dedup still applies upstream — collapsing a duplicate saves a
+// whole solve here.)
+func (e mdEngine) SuggestBatchSorted(dst []engine.Result, queries []geom.Vector, s *engine.Scratch) {
+	e.SuggestBatch(dst, queries, s)
+}
+
 // Revalidate spot-checks satisfactory regions' stored witness functions
 // against a (possibly updated) dataset: the region geometry is fixed by the
 // old data's ordering exchanges, so a witness that no longer satisfies the

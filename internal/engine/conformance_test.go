@@ -187,6 +187,57 @@ func TestConformanceBatchMatchesScalar(t *testing.T) {
 	}
 }
 
+// SuggestBatchSorted must answer bit-identically to the scalar path for ANY
+// query order — ascending angles (the cursor-friendly case the planner
+// arranges), descending (every cursor check fails), and duplicate runs — and
+// with one Scratch reused across engines and orders, so a stale cursor from
+// another engine or a differently-ordered chunk must be detected and
+// discarded, never trusted.
+func TestConformanceSortedBatchMatchesScalar(t *testing.T) {
+	fx := buildFixture(t, 17)
+	engines := fx.engines
+	engines["approx-refined"] = cells.NewEngine(fx.approx, true)
+	fan := queryFan(41, 1.5)
+	fan[20] = geom.Vector{0, 0} // error slot mid-run
+	rev := make([]geom.Vector, len(fan))
+	for i, q := range fan {
+		rev[len(fan)-1-i] = q
+	}
+	dupes := make([]geom.Vector, 0, 3*len(fan))
+	for _, q := range fan {
+		dupes = append(dupes, q, q, q) // consecutive duplicates share a cursor
+	}
+	orders := map[string][]geom.Vector{"ascending": fan, "descending": rev, "duplicates": dupes}
+	s := new(engine.Scratch) // deliberately shared: cursors go stale between runs
+	for name, e := range engines {
+		for oname, queries := range orders {
+			dst := make([]engine.Result, len(queries))
+			e.SuggestBatchSorted(dst, queries, s)
+			for i, q := range queries {
+				out, dist, err := e.Suggest(q)
+				got := dst[i]
+				if (err != nil) != (got.Err != nil) {
+					t.Fatalf("engine %s order %s slot %d: scalar err %v, sorted-batch err %v", name, oname, i, err, got.Err)
+				}
+				if err != nil {
+					continue
+				}
+				if dist != got.Distance {
+					t.Fatalf("engine %s order %s slot %d: scalar dist %v, sorted-batch dist %v", name, oname, i, dist, got.Distance)
+				}
+				if len(out) != len(got.Weights) {
+					t.Fatalf("engine %s order %s slot %d: scalar dim %d, sorted-batch dim %d", name, oname, i, len(out), len(got.Weights))
+				}
+				for j := range out {
+					if out[j] != got.Weights[j] {
+						t.Fatalf("engine %s order %s slot %d: scalar weights %v, sorted-batch weights %v", name, oname, i, out, got.Weights)
+					}
+				}
+			}
+		}
+	}
+}
+
 // Revalidate on the unchanged dataset must come back healthy for every
 // engine; against an always-unfair oracle every probe must fail.
 func TestConformanceRevalidate(t *testing.T) {

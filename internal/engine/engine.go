@@ -63,6 +63,20 @@ type Engine interface {
 	// that query alone.
 	SuggestBatch(dst []Result, queries []geom.Vector, s *Scratch)
 
+	// SuggestBatchSorted is the resumable variant of SuggestBatch, called by
+	// the batch planner with queries it has arranged for angular locality
+	// (neighboring queries land in the same sector or grid cell). Kernels
+	// with a locality win carry cursor state in the scratch — the 2D engine
+	// resumes its interval search from the previous query's position, the
+	// grid engine re-enters the last-hit cell instead of re-descending the
+	// partition tree — and count reuses via Scratch.AddResumeHits. The sort
+	// is advisory, never load-bearing: every cursor use is guarded by an
+	// exact validity check and falls back to the stateless lookup, so each
+	// slot is byte-identical to SuggestBatch (and to Suggest) for ANY query
+	// order. Engines without a locality advantage (the exact engine's cost
+	// is per-query NLP solves) delegate to SuggestBatch.
+	SuggestBatchSorted(dst []Result, queries []geom.Vector, s *Scratch)
+
 	// Revalidate spot-checks the index's satisfactory witnesses against a
 	// (possibly updated) dataset and oracle — the paper's §1 design loop:
 	// reuse the scheme while the distribution holds, verify periodically,

@@ -9,14 +9,78 @@ import (
 
 // Scratch is the per-worker arena a SuggestBatch kernel reuses across the
 // queries of a chunk: one ranking buffer (scores + order), one polar-angle
-// buffer, and two cartesian probe vectors. The batch layer keeps Scratches
-// in a pool, so steady-state batch traffic allocates only the per-chunk
-// answer arenas. A Scratch must not be shared between concurrent kernels.
+// buffer, two cartesian probe vectors, and the resumable-kernel cursor (see
+// Engine.SuggestBatchSorted). The batch layer keeps Scratches in a pool, so
+// steady-state batch traffic allocates only the per-chunk answer arenas. A
+// Scratch must not be shared between concurrent kernels.
 type Scratch struct {
 	rank   ranking.Buffers
 	angles geom.Angles
 	probe  geom.Angles
 	va, vb geom.Vector
+
+	// resume is engine-private cursor state a resumable kernel parks between
+	// consecutive queries (the 2D engine's interval cursor, the grid engine's
+	// last-hit cell). Kernels must validate it before trusting it: a pooled
+	// Scratch may carry a cursor from another engine, another index
+	// generation, or a differently-sorted chunk, so every use is guarded by
+	// an exact containment check and falls back to the stateless lookup.
+	resume any
+	// resumeHits counts queries answered through a validated cursor instead
+	// of a from-scratch descent — the planner's resume_hits observable.
+	resumeHits int64
+}
+
+// Resume returns the engine-private cursor parked by a previous resumable
+// kernel invocation (nil when none). Callers type-assert their own state and
+// must treat a foreign or stale value as absent.
+func (s *Scratch) Resume() any { return s.resume }
+
+// SetResume parks engine-private cursor state for the next kernel invocation
+// on this scratch.
+func (s *Scratch) SetResume(v any) { s.resume = v }
+
+// AddResumeHits counts n queries that re-entered the index from a validated
+// cursor instead of a from-scratch descent.
+func (s *Scratch) AddResumeHits(n int) { s.resumeHits += int64(n) }
+
+// TakeResumeHits returns and clears the resume-hit count accumulated since
+// the last call — the batch layer drains it into the planner's counters
+// before the scratch goes back to the pool.
+func (s *Scratch) TakeResumeHits() int64 {
+	n := s.resumeHits
+	s.resumeHits = 0
+	return n
+}
+
+// Retention caps for Reset: a pooled Scratch that served one giant dataset
+// must not pin its grown arrays forever. The ranking buffers hold one
+// float64 and one int per dataset item, so 1<<16 items bounds retention at
+// ~1 MiB per pooled scratch; the angle and probe buffers hold d−1 entries
+// and are capped far above any realistic dimensionality.
+const (
+	maxRetainedRankItems = 1 << 16
+	maxRetainedAngles    = 1 << 10
+)
+
+// Reset prepares a Scratch for the pool: the resumable cursor is dropped (it
+// must never leak across batches, engines, or generations) and buffers whose
+// capacity outgrew the retention caps are released so one giant batch does
+// not pin memory for the life of the process. Contents of retained buffers
+// are not cleared — kernels always write before they read.
+func (s *Scratch) Reset() {
+	s.resume = nil
+	s.resumeHits = 0
+	s.rank.Trim(maxRetainedRankItems)
+	if cap(s.angles) > maxRetainedAngles {
+		s.angles = nil
+	}
+	if cap(s.probe) > maxRetainedAngles {
+		s.probe = nil
+	}
+	if cap(s.va) > maxRetainedAngles {
+		s.va, s.vb = nil, nil
+	}
 }
 
 // OrderFor ranks ds under w into the scratch buffers: the O(n + k log k)

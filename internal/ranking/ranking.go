@@ -94,6 +94,15 @@ func (b *Buffers) Order(ds *dataset.Dataset, w geom.Vector) ([]int, error) {
 	return order, nil
 }
 
+// Trim releases the score/order buffers when their capacity exceeds maxItems
+// elements. Pooled buffer owners call it before parking a buffer, so one
+// pass over a giant dataset does not pin arrays of its size forever.
+func (b *Buffers) Trim(maxItems int) {
+	if cap(b.scores) > maxItems {
+		b.scores, b.order = nil, nil
+	}
+}
+
 // TopK returns the first k entries of order (all of it if k exceeds length).
 func TopK(order []int, k int) []int {
 	if k > len(order) {

@@ -98,6 +98,38 @@ type MetricsSnapshot struct {
 	CacheMisses    int64    `json:"cache_misses"`
 	LatencyMeanNs  int64    `json:"latency_mean_ns"`
 	LatencyBuckets []Bucket `json:"latency_buckets"`
+
+	// Batch-planner observables, filled for engines that expose BatchPlanner
+	// (see SetBatchPlan): the fraction of batch slots answered by duplicate
+	// fan-out, the most recent planned chunk size (a gauge), and the kernel
+	// lookups that resumed from a locality cursor. The two slot totals carry
+	// the dedup rate's numerator and denominator so Merge can recombine the
+	// rate exactly across shards.
+	BatchDedupRate    float64 `json:"batch_dedup_rate"`
+	PlannedChunkSize  int64   `json:"planned_chunk_size"`
+	ResumeHits        int64   `json:"resume_hits"`
+	BatchPlannerSlots int64   `json:"batch_planner_slots,omitempty"`
+	BatchDedupedSlots int64   `json:"batch_deduped_slots,omitempty"`
+}
+
+// BatchPlanStats is the planner-decision summary an Engine exposes through
+// the optional BatchPlanner interface.
+type BatchPlanStats struct {
+	Slots         int64 // batch query slots seen by the planner
+	DedupedSlots  int64 // slots answered by duplicate fan-out
+	ResumeHits    int64 // kernel lookups resumed from a validated cursor
+	LastChunkSize int64 // chunk size of the most recent batch
+}
+
+// SetBatchPlan fills the snapshot's planner fields from an engine's stats.
+func (s *MetricsSnapshot) SetBatchPlan(p BatchPlanStats) {
+	s.BatchPlannerSlots = p.Slots
+	s.BatchDedupedSlots = p.DedupedSlots
+	s.ResumeHits = p.ResumeHits
+	s.PlannedChunkSize = p.LastChunkSize
+	if p.Slots > 0 {
+		s.BatchDedupRate = float64(p.DedupedSlots) / float64(p.Slots)
+	}
 }
 
 // Snapshot copies the counters. Taken bucket-by-bucket without a lock, so
@@ -140,6 +172,15 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	s.Errors += o.Errors
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.BatchPlannerSlots += o.BatchPlannerSlots
+	s.BatchDedupedSlots += o.BatchDedupedSlots
+	s.ResumeHits += o.ResumeHits
+	if s.BatchPlannerSlots > 0 {
+		s.BatchDedupRate = float64(s.BatchDedupedSlots) / float64(s.BatchPlannerSlots)
+	}
+	if s.PlannedChunkSize == 0 {
+		s.PlannedChunkSize = o.PlannedChunkSize // gauge: keep any recent value
+	}
 	if len(s.LatencyBuckets) == 0 {
 		s.LatencyBuckets = append([]Bucket(nil), o.LatencyBuckets...)
 		return

@@ -48,6 +48,14 @@ type Engine interface {
 	SaveIndex(w io.Writer) error
 }
 
+// BatchPlanner is an optional Engine capability: engines whose SuggestBatch
+// runs through the adaptive batch planner report its decisions here, and
+// Entry.Status folds them into the metrics snapshot (batch_dedup_rate,
+// planned_chunk_size, resume_hits on /metrics).
+type BatchPlanner interface {
+	BatchPlanStats() BatchPlanStats
+}
+
 // BuildFunc builds (or rebuilds) an engine — the offline phase. It runs on a
 // background goroutine owned by the registry.
 type BuildFunc func() (Engine, error)
@@ -499,10 +507,13 @@ func (e *Entry) Status() StatusInfo {
 		info.Error = e.buildErr.Error()
 	}
 	e.mu.Unlock()
+	info.Metrics = e.metrics.Snapshot()
 	if box := e.engine.Load(); box != nil {
 		info.Mode = box.e.ModeName()
+		if bp, ok := box.e.(BatchPlanner); ok {
+			info.Metrics.SetBatchPlan(bp.BatchPlanStats())
+		}
 	}
-	info.Metrics = e.metrics.Snapshot()
 	return info
 }
 

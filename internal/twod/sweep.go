@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/fairness"
@@ -322,6 +323,11 @@ func groupEvents(exchanges []Exchange) []eventGroup {
 // updated instead of recomputed. Options.Workers additionally sweeps
 // disjoint sector segments concurrently; the output is identical for every
 // worker count up to the eps-degeneracy caveat on Options.Workers.
+// segmentsPerWorker is the parallel sweep's oversplit factor: each worker's
+// sector share is cut into this many queue segments so dense segments are
+// stolen by idle workers. Each extra segment costs one extra full-sort seed.
+const segmentsPerWorker = 4
+
 func RaySweep(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*Index, error) {
 	exchanges, err := exchangeAngles(ds, resolveWorkers(opt.Workers, ds.N()))
 	if err != nil {
@@ -358,17 +364,36 @@ func RaySweep(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*Index,
 
 	// Parallel segmented sweep: contiguous sector ranges, one full sort to
 	// seed each, exact interval merge at the segment boundaries.
-	parts := make([][]Interval, workers)
-	errs := make([]error, workers)
+	// Work stealing: sectors are split into more segments than workers and
+	// handed out through a shared queue, so a worker whose segments happen to
+	// be dense (many oracle calls, big tie groups) simply claims fewer and
+	// the others don't idle behind it. The oversplit factor trades one extra
+	// full-sort seed per extra segment against tail latency; 4 segments per
+	// worker keeps the seed overhead a few percent while capping the
+	// straggler at ~a quarter of a worker's share. Results are unchanged:
+	// segments are still contiguous sector ranges merged in order.
+	numSegs := workers * segmentsPerWorker
+	if numSegs > sectors {
+		numSegs = sectors
+	}
+	parts := make([][]Interval, numSegs)
+	errs := make([]error, numSegs)
+	var nextSeg atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		secLo := w * sectors / workers
-		secHi := (w + 1) * sectors / workers
 		wg.Add(1)
-		go func(w, secLo, secHi int) {
+		go func() {
 			defer wg.Done()
-			parts[w], errs[w] = sweepSegment(ds, counter, exchanges, events, secLo, secHi, opt)
-		}(w, secLo, secHi)
+			for {
+				seg := int(nextSeg.Add(1)) - 1
+				if seg >= numSegs {
+					return
+				}
+				secLo := seg * sectors / numSegs
+				secHi := (seg + 1) * sectors / numSegs
+				parts[seg], errs[seg] = sweepSegment(ds, counter, exchanges, events, secLo, secHi, opt)
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -613,7 +638,16 @@ func (idx *Index) QueryAngle(theta float64) (float64, float64, error) {
 	if !idx.Satisfiable() {
 		return 0, 0, ErrUnsatisfiable
 	}
-	// Binary search for the first interval with End ≥ theta.
+	bestTheta, best := idx.answerNear(idx.lowerBound(theta), theta)
+	return bestTheta, best, nil
+}
+
+// lowerBound returns the index of the first interval with End ≥ theta —
+// the one candidate position an angular query needs (its neighbor below is
+// the only other interval that can be closer). The result is a pure function
+// of theta, which is what lets the resumable kernel substitute a validated
+// cursor for the binary search without changing any answer.
+func (idx *Index) lowerBound(theta float64) int {
 	lo, hi := 0, len(idx.intervals)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -623,6 +657,62 @@ func (idx *Index) QueryAngle(theta float64) (float64, float64, error) {
 			hi = mid
 		}
 	}
+	return lo
+}
+
+// queryAngleFrom is QueryAngle with a cursor: cur is the previous query's
+// lower bound, and it substitutes for the binary search exactly when it is
+// already a valid lower bound for theta too (cur == 0 or the interval below
+// it ends before theta) — true whenever consecutive queries arrive in
+// ascending angular order, which is what the batch planner's locality sort
+// arranges. The returned position is identical to lowerBound(theta) either
+// way, so answers never depend on the cursor; resumed reports whether the
+// cursor carried.
+func (idx *Index) queryAngleFrom(theta float64, cur int) (bestTheta, dist float64, next int, resumed bool, err error) {
+	if !idx.Satisfiable() {
+		return 0, 0, 0, false, ErrUnsatisfiable
+	}
+	n := len(idx.intervals)
+	lo := cur
+	resumed = cur >= 0 && cur <= n && (cur == 0 || idx.intervals[cur-1].End < theta)
+	if resumed {
+		// Clustered queries land in or just past the cursor's interval: a
+		// short walk finds the bound; a long jump falls back to binary
+		// search over the remaining suffix (same result, bounded cost).
+		const walkLimit = 8
+		for steps := 0; lo < n && idx.intervals[lo].End < theta; steps++ {
+			if steps == walkLimit {
+				lo += idx.suffixLowerBound(lo, theta)
+				break
+			}
+			lo++
+		}
+	} else {
+		lo = idx.lowerBound(theta)
+	}
+	bestTheta, dist = idx.answerNear(lo, theta)
+	return bestTheta, dist, lo, resumed, nil
+}
+
+// suffixLowerBound is lowerBound restricted to intervals[from:], returning
+// the offset from from.
+func (idx *Index) suffixLowerBound(from int, theta float64) int {
+	lo, hi := 0, len(idx.intervals)-from
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx.intervals[from+mid].End < theta {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// answerNear turns a lower-bound position into the query answer: the closest
+// satisfactory angle to theta and its distance (0 when theta itself lies in a
+// satisfactory interval).
+func (idx *Index) answerNear(lo int, theta float64) (float64, float64) {
 	best := math.Inf(1)
 	bestTheta := theta
 	consider := func(iv Interval) {
@@ -649,5 +739,5 @@ func (idx *Index) QueryAngle(theta float64) (float64, float64, error) {
 	if lo > 0 {
 		consider(idx.intervals[lo-1])
 	}
-	return bestTheta, best, nil
+	return bestTheta, best
 }

@@ -201,6 +201,18 @@ func (e *designerEngine) SuggestBatch(ws [][]float64) []service.Result {
 
 func (e *designerEngine) ModeName() string { return e.d.Mode().String() }
 
+// BatchPlanStats implements the optional service.BatchPlanner capability, so
+// the planner's decisions surface on /metrics per designer.
+func (e *designerEngine) BatchPlanStats() service.BatchPlanStats {
+	st := e.d.BatchPlanStats()
+	return service.BatchPlanStats{
+		Slots:         st.Slots,
+		DedupedSlots:  st.DedupedSlots,
+		ResumeHits:    st.ResumeHits,
+		LastChunkSize: st.LastChunkSize,
+	}
+}
+
 func (e *designerEngine) SaveIndex(w io.Writer) error { return e.d.SaveIndex(w) }
 
 // validateID accepts the ids used for datasets and designers. Ids become
