@@ -1,13 +1,16 @@
 package fairrank
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fairrank/internal/engine"
 	"fairrank/internal/geom"
+	"fairrank/internal/obs"
 	"fairrank/internal/planner"
 )
 
@@ -40,16 +43,29 @@ var scratchPool = sync.Pool{New: func() any { return new(engine.Scratch) }}
 // cursor-validated kernels, so answers are byte-identical to the naive
 // per-query loop no matter what the planner picks.
 func (d *Designer) SuggestBatch(queries [][]float64) []BatchResult {
+	return d.SuggestBatchCtx(context.Background(), queries)
+}
+
+// SuggestBatchCtx is SuggestBatch with trace-span recording: when ctx
+// carries an obs.Recorder (the HTTP serving path), the planner decision and
+// the kernel execution are recorded as "planner" and "kernel" stages, each
+// annotated with what was decided (dedup/sort/chunk shape, worker count,
+// resume hits). A background context degrades to the plain SuggestBatch hot
+// path — one nil check per stage, nothing else.
+func (d *Designer) SuggestBatchCtx(ctx context.Context, queries [][]float64) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return results
 	}
+	rec := obs.FromContext(ctx)
 	qs := make([]geom.Vector, len(queries))
 	for i, q := range queries {
 		qs[i] = geom.Vector(q)
 	}
 
+	sp := rec.Start("planner")
 	p := d.plan.Plan(qs)
+	sp.EndNote(p.Describe())
 	kernelQs := qs
 	if !p.PassThrough() {
 		kernelQs = p.Queries
@@ -57,7 +73,9 @@ func (d *Designer) SuggestBatch(queries [][]float64) []BatchResult {
 	raw := make([]engine.Result, len(kernelQs))
 
 	start := time.Now()
+	sp = rec.Start("kernel")
 	hits := d.runKernel(raw, kernelQs, &p)
+	sp.EndNote(fmt.Sprintf("queries=%d resume_hits=%d", len(kernelQs), hits))
 	d.plan.Observe(&p, len(kernelQs), float64(time.Since(start).Nanoseconds()), hits)
 
 	if p.PassThrough() {

@@ -11,6 +11,7 @@
 //	          [-node-id node-0] [-shards 4] [-peers node-1=http://host:8080,...]
 //	          [-advertise http://host:8080] [-join http://seed:8080]
 //	          [-anti-entropy 5s] [-drain]
+//	          [-debug-addr :6060] [-slow-query-threshold 250ms]
 //
 // A fleet of fairrankd nodes forms a cluster: designers are partitioned
 // across nodes by a rendezvous-hash ring, every node accepts every request
@@ -21,6 +22,11 @@
 // -drain hands its indexes off and leaves the ring, and a periodic
 // anti-entropy pass (-anti-entropy) repairs metadata any member missed while
 // it was down. See the "Operating a cluster" section of the README.
+//
+// Observability: every request is traced (recent traces at /debug/traces,
+// Prometheus exposition at /metrics?format=prometheus), requests slower than
+// -slow-query-threshold are sampled into the structured log, and -debug-addr
+// serves net/http/pprof on a separate listener kept off the cluster port.
 package main
 
 import (
@@ -28,15 +34,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
 	"fairrank"
+	"fairrank/internal/obs"
 )
 
 // parsePeers turns "id=url,id=url" into ClusterPeers.
@@ -71,6 +80,26 @@ func defaultAdvertise(addr string) string {
 	return "http://" + net.JoinHostPort(host, port)
 }
 
+// startDebugServer serves net/http/pprof on its own listener so profiling
+// stays off the cluster port (never forwarded, never traced, easy to firewall
+// separately). Registration is explicit — the debug mux must not inherit
+// http.DefaultServeMux, where other packages may have mounted handlers.
+func startDebugServer(addr string, log *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Info("debug server listening", "addr", addr)
+		srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.ListenAndServe(); err != nil {
+			log.Error("debug server failed", "err", err)
+		}
+	}()
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "fairrankd-data", "directory for persisted datasets and indexes (empty = no persistence)")
@@ -83,11 +112,18 @@ func main() {
 	joinAddr := flag.String("join", "", "URL of any existing cluster member to join at startup")
 	antiEntropy := flag.Duration("anti-entropy", 5*time.Second, "anti-entropy digest exchange period (0 = disabled)")
 	drain := flag.Bool("drain", true, "on SIGTERM/SIGINT, hand indexes to their next owners and leave the ring")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
+	slowThreshold := flag.Duration("slow-query-threshold", 250*time.Millisecond, "log requests slower than this (0 = disabled)")
+	slowEvery := flag.Int("slow-query-every", 1, "log every Nth slow request (sampling under sustained slowness)")
+	traceBuffer := flag.Int("trace-buffer", 256, "recent traces kept for /debug/traces")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *nodeID)
 
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
-		log.Fatalf("parsing -peers: %v", err)
+		logger.Error("parsing -peers failed", "err", err)
+		os.Exit(1)
 	}
 	if *advertise == "" {
 		*advertise = defaultAdvertise(*addr)
@@ -99,22 +135,31 @@ func main() {
 		AdvertiseURL:        *advertise,
 		HealthInterval:      *healthInterval,
 		AntiEntropyInterval: *antiEntropy,
-		Logf:                log.Printf,
+		Logger:              logger,
+		TraceBuffer:         *traceBuffer,
+		SlowQueryThreshold:  *slowThreshold,
+		SlowQueryEvery:      *slowEvery,
 	})
 	if err != nil {
-		log.Fatalf("configuring cluster: %v", err)
+		logger.Error("configuring cluster failed", "err", err)
+		os.Exit(1)
 	}
 	defer srv.Close()
 	if len(peers) > 0 {
-		log.Printf("node %s joining ring with %d peer(s), %d local shard(s)", *nodeID, len(peers), *shards)
+		logger.Info("joining ring", "peers", len(peers), "shards", *shards)
 	}
 	if *dataDir != "" {
 		if err := srv.LoadDir(*dataDir); err != nil {
-			log.Fatalf("loading data directory %s: %v", *dataDir, err)
+			logger.Error("loading data directory failed", "dir", *dataDir, "err", err)
+			os.Exit(1)
 		}
 		if ids := srv.DesignerIDs(); len(ids) > 0 {
-			log.Printf("restored %d designer(s) from %s: %v", len(ids), *dataDir, ids)
+			logger.Info("restored designers", "count", len(ids), "dir", *dataDir, "ids", fmt.Sprint(ids))
 		}
+	}
+
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr, logger)
 	}
 
 	httpSrv := &http.Server{
@@ -128,7 +173,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("fairrankd listening on %s", *addr)
+		logger.Info("fairrankd listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -140,18 +185,20 @@ func main() {
 		err := srv.JoinCluster(joinCtx, *joinAddr)
 		cancel()
 		if err != nil {
-			log.Fatalf("joining cluster via %s: %v", *joinAddr, err)
+			logger.Error("joining cluster failed", "seed", *joinAddr, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("joined cluster via %s as %s (advertising %s)", *joinAddr, *nodeID, *advertise)
+		logger.Info("joined cluster", "seed", *joinAddr, "advertise", *advertise)
 	}
 
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down (waiting up to %v for in-flight requests)", *shutdownTimeout)
+	logger.Info("shutting down", "grace", shutdownTimeout.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if *drain {
@@ -159,17 +206,17 @@ func main() {
 		// handoffs and stop routing here while this process can still
 		// answer their stragglers.
 		if err := srv.LeaveCluster(shutdownCtx); err != nil {
-			log.Printf("leaving cluster: %v", err)
+			logger.Error("leaving cluster failed", "err", err)
 		}
 	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 	}
 	if *dataDir != "" {
 		if err := srv.SaveDir(*dataDir); err != nil {
-			log.Printf("saving data directory %s: %v", *dataDir, err)
+			logger.Error("saving data directory failed", "dir", *dataDir, "err", err)
 		} else {
-			log.Printf("saved state to %s", *dataDir)
+			logger.Info("saved state", "dir", *dataDir)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"fairrank/internal/cluster"
+	"fairrank/internal/obs"
 	"fairrank/internal/service"
 )
 
@@ -69,9 +70,14 @@ func (s *Server) gossipOnce(interval time.Duration) {
 	if len(healthy) > 0 {
 		p := healthy[rand.Intn(len(healthy))]
 		ctx, cancel := context.WithTimeout(context.Background(), max(interval, 10*time.Second))
+		stats := s.router.Stats()
+		begin := time.Now()
 		if err := s.exchangeWith(ctx, p); err != nil {
+			stats.GossipFailures.Add(1)
 			s.logf("cluster: anti-entropy with %s failed: %v", p.Member().ID, err)
 		}
+		stats.GossipRounds.Add(1)
+		stats.GossipNs.Add(time.Since(begin).Nanoseconds())
 		cancel()
 	}
 	s.reconcile()
@@ -89,11 +95,13 @@ func (s *Server) exchangeWith(ctx context.Context, p *cluster.Peer) error {
 		}
 		return err
 	}
-	s.applyEntries(resp.Updates)
+	s.router.Stats().EntriesPulled.Add(int64(s.applyEntries(resp.Updates)))
 	if len(resp.Wants) > 0 {
-		if err := p.PushEntries(ctx, s.router.NodeID(), s.meta.Entries(resp.Wants)); err != nil {
+		entries := s.meta.Entries(resp.Wants)
+		if err := p.PushEntries(ctx, s.router.NodeID(), entries); err != nil {
 			return err
 		}
+		s.router.Stats().EntriesPushed.Add(int64(len(entries)))
 	}
 	return nil
 }
@@ -322,29 +330,51 @@ func (s *Server) ensureOwned(id string) {
 // tryHandoff pulls designer id's index from the member that served it before
 // this node owned it, activating the loaded engine without a rebuild.
 // Returns false when no source exists, the source holds no ready index
-// (404), or the stream fails to load — the caller then rebuilds.
+// (404), or the stream fails to load — the caller then rebuilds. Each pull
+// runs under its own background trace ("handoff-pull") so cross-node index
+// moves show up at /debug/traces next to the request traces.
 func (s *Server) tryHandoff(id string, spec DesignerSpec, build service.BuildFunc) bool {
 	src, ok := s.router.HandoffSource(id)
 	if !ok {
 		return false
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	stats := s.router.Stats()
+	rec := s.tracer.Background("handoff-pull")
+	rec.SetTarget(id)
+	defer s.tracer.Done(rec)
+	begin := time.Now()
+	ctx, cancel := context.WithTimeout(obs.NewContext(context.Background(), rec), 2*time.Minute)
 	defer cancel()
+	sp := rec.Start("fetch")
 	rc, err := src.FetchIndex(ctx, s.router.NodeID(), id)
 	if err != nil {
+		sp.EndNote("failed peer=" + src.Member().ID)
+		stats.HandoffFailures.Add(1)
 		var se *cluster.StatusError
 		if !errors.As(err, &se) {
 			src.MarkUnhealthy(err)
 		}
 		return false
 	}
-	d, err := s.loadDesignerStream(rc, spec)
+	cr := &obs.CountingReader{R: rc}
+	sp.EndNote("peer=" + src.Member().ID)
+	sp = rec.Start("load")
+	d, err := s.loadDesignerStream(cr, spec)
 	rc.Close()
+	stats.HandoffBytesIn.Add(cr.N())
 	if err != nil {
+		sp.EndNote("failed")
+		stats.HandoffFailures.Add(1)
 		s.logf("cluster: handoff of %q from %s failed to load: %v", id, src.Member().ID, err)
 		return false
 	}
-	if _, err := s.shard(id).CreateReady(id, &designerEngine{d: d}, build); err != nil {
+	sp.EndNote(fmt.Sprintf("bytes=%d", cr.N()))
+	sp = rec.Start("activate")
+	_, cerr := s.shard(id).CreateReady(id, &designerEngine{d: d}, build)
+	sp.End()
+	stats.HandoffPulls.Add(1)
+	stats.HandoffNs.Add(time.Since(begin).Nanoseconds())
+	if cerr != nil {
 		// Lost a race against a concurrent activation; either way an index
 		// is serving.
 		return true
@@ -428,7 +458,11 @@ func (s *Server) LeaveCluster(ctx context.Context) error {
 	if s.router.SingleNode() {
 		return nil
 	}
+	// From here on the node is draining: /healthz flips to 503/"draining" so
+	// peer health probes stop routing fresh work here while the indexes move.
+	s.draining.Store(true)
 	self := s.router.NodeID()
+	stats := s.router.Stats()
 	// Push indexes while this node is still on the ring: HandoffSource
 	// (owner among the other healthy members) is exactly the member that
 	// inherits each designer once the leave applies. The push loop runs
@@ -449,10 +483,17 @@ func (s *Server) LeaveCluster(ctx context.Context) error {
 		}
 		pr, pw := io.Pipe()
 		go func() { pw.CloseWithError(eng.SaveIndex(pw)) }()
-		if err := peer.PushIndex(ctx, self, id, pr); err != nil {
+		cr := &obs.CountingReader{R: pr}
+		begin := time.Now()
+		err = peer.PushIndex(ctx, self, id, cr)
+		stats.HandoffBytesOut.Add(cr.N())
+		stats.HandoffNs.Add(time.Since(begin).Nanoseconds())
+		if err != nil {
+			stats.HandoffFailures.Add(1)
 			s.logf("cluster: drain: pushing index of %q to %s failed: %v (it will rebuild)",
 				id, peer.Member().ID, err)
 		} else {
+			stats.HandoffPushes.Add(1)
 			s.logf("cluster: drain: handed index of %q to %s", id, peer.Member().ID)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fairrank/internal/cluster"
+	"fairrank/internal/obs"
 	"fairrank/internal/service"
 )
 
@@ -26,8 +27,18 @@ import (
 //	POST /v1/designers/{id}/revalidate    {"dataset": optional id}
 //	DELETE /v1/designers/{id}             → replicated tombstone delete
 //	GET  /cluster                         → ClusterStatus (ring, health, per-shard rollup)
-//	GET  /metrics                         → per-designer counters + latency histograms
-//	GET  /healthz                         → {"status": "ok"}
+//	GET  /metrics                         → per-designer counters + latency histograms (JSON);
+//	                                        ?format=prometheus (or Accept: text/plain /
+//	                                        openmetrics) → Prometheus text exposition
+//	GET  /debug/traces                    → recent request traces (ring buffer; ?id= filters)
+//	GET  /healthz                         → {"status": "ok"}; 503 {"status": "draining"}
+//	                                        once a POST /cluster/leave drain began
+//
+// Every request (except /healthz and /debug/*) runs under a trace: the id is
+// inherited from the X-Fairrank-Trace header or generated, per-stage spans
+// (decode, forward, cache, planner, kernel) are recorded, and a forwarded
+// hop returns its spans to the forwarder in an X-Fairrank-Spans trailer —
+// one coherent trace per cross-node request, browsable at /debug/traces.
 //
 // Cluster-internal endpoints (also callable by operators):
 //
@@ -67,8 +78,9 @@ func toSuggestionJSON(s *Suggestion, err error) suggestionJSON {
 	return suggestionJSON{Weights: s.Weights, Distance: s.Distance, AlreadyFair: s.AlreadyFair}
 }
 
-// Handler returns the HTTP API. It is safe to mount alongside other routes.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API, wrapped in the tracing middleware. It is
+// safe to mount alongside other routes.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
@@ -87,8 +99,40 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /cluster/handoff/{id}", s.handleHandoffGet)
 	s.mux.HandleFunc("POST /cluster/handoff/{id}", s.handleHandoffPut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// handleHealthz answers liveness probes. A draining node (POST
+// /cluster/leave in progress) reports 503 {"status":"draining"}: load
+// balancers and the peer health probe then stop routing new work to it
+// while its indexes hand off.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleDebugTraces dumps the bounded ring of recent traces, newest first.
+// ?id= filters to one trace id (e.g. the one a client set via the
+// X-Fairrank-Trace header).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	traces, total := s.tracer.Traces()
+	if id := r.URL.Query().Get("id"); id != "" {
+		filtered := make([]obs.Trace, 0, 4)
+		for _, t := range traces {
+			if t.ID == id {
+				filtered = append(filtered, t)
+			}
+		}
+		traces = filtered
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node_id":        s.router.NodeID(),
+		"total_recorded": total,
+		"traces":         traces,
 	})
 }
 
@@ -161,12 +205,15 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, id strin
 	if s.router.SingleNode() || r.Header.Get(cluster.ForwardHeader) != "" {
 		return false
 	}
+	rec := obs.FromContext(r.Context())
 	for {
 		peer, ok := s.router.RemoteOwner(id)
 		if !ok {
 			return false
 		}
+		sp := rec.Start("forward")
 		if err := peer.Forward(w, r, s.router.NodeID(), body); err != nil {
+			sp.EndNote("failed peer=" + peer.Member().ID)
 			if r.Context().Err() != nil {
 				// The requester itself is gone (disconnect or deadline) —
 				// that is not evidence against the peer, so don't poison
@@ -176,6 +223,8 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, id strin
 			peer.MarkUnhealthy(err)
 			continue
 		}
+		// Forward merged the remote hop's trailer spans into rec already.
+		sp.EndNote("peer=" + peer.Member().ID)
 		return true
 	}
 }
@@ -343,7 +392,11 @@ func (s *Server) handleDesignerStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	rec := obs.FromContext(r.Context())
+	rec.SetTarget(id)
+	sp := rec.Start("decode")
 	body, ok := readBody(w, r)
+	sp.End()
 	if !ok {
 		return
 	}
@@ -358,14 +411,14 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	case req.Weights != nil && req.Batch != nil:
 		writeError(w, http.StatusBadRequest, errors.New(`"weights" and "batch" are mutually exclusive`))
 	case req.Weights != nil:
-		sug, err := s.Suggest(id, req.Weights)
+		sug, err := s.suggestCtx(r.Context(), id, req.Weights)
 		if err != nil {
 			writeError(w, errorStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toSuggestionJSON(sug, nil))
 	case req.Batch != nil:
-		results, err := s.SuggestBatch(id, req.Batch)
+		results, err := s.suggestBatchCtx(r.Context(), id, req.Batch)
 		if err != nil {
 			writeError(w, errorStatus(err), err)
 			return
@@ -592,7 +645,10 @@ func (s *Server) handleHandoffGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := eng.SaveIndex(w); err != nil {
+	cw := &obs.CountingWriter{W: w}
+	err = eng.SaveIndex(cw)
+	s.router.Stats().HandoffBytesOut.Add(cw.N())
+	if err != nil {
 		// Headers are gone; the truncated stream fails the loader's header
 		// or payload decode and the puller falls back to rebuilding.
 		s.logf("cluster: handoff stream of %q failed: %v", id, err)
@@ -616,7 +672,9 @@ func (s *Server) handleHandoffPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	d, err := s.loadDesignerStream(http.MaxBytesReader(w, r.Body, 1<<30), spec)
+	cr := &obs.CountingReader{R: http.MaxBytesReader(w, r.Body, 1<<30)}
+	d, err := s.loadDesignerStream(cr, spec)
+	s.router.Stats().HandoffBytesIn.Add(cr.N())
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -639,10 +697,17 @@ func (s *Server) handleHandoffPut(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "loaded": true})
 }
 
-// handleMetrics exposes per-designer query counters and latency histograms
-// in an expvar-style JSON document (stdlib only, scrape-friendly), plus the
-// per-shard rollup so one scrape shows how traffic splits across shards.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics exposes per-designer query counters and latency histograms.
+// The default is an expvar-style JSON document (stdlib only,
+// scrape-friendly) with a cluster section (gossip, handoff, forwards, peer
+// health); ?format=prometheus — or an Accept header naming text/plain or
+// openmetrics — switches to the Prometheus text exposition of the same
+// counters (see prom.go).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.writePrometheus(w)
+		return
+	}
 	designers := make(map[string]service.StatusInfo)
 	for _, id := range s.DesignerIDs() {
 		if st, err := s.DesignerStatus(id); err == nil {
@@ -656,5 +721,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"designers":      designers,
 		"node_id":        clusterStatus.NodeID,
 		"shards":         clusterStatus.Shards,
+		"cluster":        s.clusterMetrics(),
 	})
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit ?format=
+// wins; otherwise an Accept header asking for text/plain or openmetrics (how
+// a Prometheus scraper introduces itself) selects the text exposition. The
+// default stays JSON, so existing scrapes and curl keep their format
+// (curl sends Accept: */*, which matches neither).
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "openmetrics", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "openmetrics") || strings.Contains(accept, "text/plain")
 }

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Anti-entropy metadata replication. Every node keeps a MetaStore of
@@ -96,6 +97,16 @@ type DigestResponse struct {
 type MetaStore struct {
 	mu      sync.RWMutex
 	entries map[string]MetaEntry
+
+	applied  atomic.Int64 // remote entries Apply accepted
+	rejected atomic.Int64 // remote entries Apply dropped as stale/duplicate
+}
+
+// ApplyCounts reports how many remotely produced entries Apply accepted
+// (replacing or creating the local copy) and how many it rejected as stale
+// or already held — the digest-diff effectiveness counters on /metrics.
+func (s *MetaStore) ApplyCounts() (applied, rejected int64) {
+	return s.applied.Load(), s.rejected.Load()
 }
 
 // NewMetaStore returns an empty store.
@@ -140,16 +151,19 @@ func (s *MetaStore) Get(key string) (MetaEntry, bool) {
 // guarantee.
 func (s *MetaStore) Apply(e MetaEntry) bool {
 	if e.Key == "" {
+		s.rejected.Add(1)
 		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	local, ok := s.entries[e.Key]
 	if ok && !supersedes(e, local) {
+		s.rejected.Add(1)
 		return false
 	}
 	e.Payload = append([]byte(nil), e.Payload...)
 	s.entries[e.Key] = e
+	s.applied.Add(1)
 	return true
 }
 

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fairrank/internal/obs"
 )
 
 // ForwardHeader marks a request as already forwarded once. A node that
@@ -32,6 +34,25 @@ type Peer struct {
 	mu       sync.Mutex // guards lastErr, lastCheck
 	lastErr  string
 	lastSeen time.Time
+
+	forwards    atomic.Int64 // requests proxied to this peer
+	forwardErrs atomic.Int64 // proxies that failed at the transport
+}
+
+// ForwardCounts reports how many requests were proxied to this peer and how
+// many of those failed before anything reached the client — the
+// fairrank_forwards_total / fairrank_forward_failures_total series.
+func (p *Peer) ForwardCounts() (ok, failed int64) {
+	return p.forwards.Load(), p.forwardErrs.Load()
+}
+
+// setTrace stamps the context's trace id (when present) onto an outbound
+// request, so a forwarded or cluster-internal hop joins the originating
+// trace instead of starting its own.
+func setTrace(ctx context.Context, req *http.Request) {
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 }
 
 func newPeer(m Member, client *http.Client) *Peer {
@@ -101,6 +122,11 @@ func (p *Peer) Check(ctx context.Context) error {
 // the peer's response — status, headers, body — back to w. It returns an
 // error only when nothing was written to w yet (transport failure), so the
 // caller can safely fall through to local handling or another member.
+//
+// The hop carries the caller's trace id, and the remote node answers with
+// its span records in an X-Fairrank-Spans trailer; Forward merges those into
+// the request's recorder, so the entry node's trace shows the remote
+// decode/cache/planner/kernel stages alongside its own.
 func (p *Peer) Forward(w http.ResponseWriter, r *http.Request, from string, body []byte) error {
 	req, err := http.NewRequestWithContext(r.Context(), r.Method,
 		p.member.URL+r.URL.RequestURI(), bytes.NewReader(body))
@@ -111,10 +137,13 @@ func (p *Peer) Forward(w http.ResponseWriter, r *http.Request, from string, body
 		req.Header.Set("Content-Type", ct)
 	}
 	req.Header.Set(ForwardHeader, from)
+	setTrace(r.Context(), req)
 	resp, err := p.client.Do(req)
 	if err != nil {
+		p.forwardErrs.Add(1)
 		return err
 	}
+	p.forwards.Add(1)
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
 		for _, v := range vs {
@@ -123,6 +152,10 @@ func (p *Peer) Forward(w http.ResponseWriter, r *http.Request, from string, body
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+	// Trailers surface only after the body is fully read.
+	if enc := resp.Trailer.Get(obs.SpansHeader); enc != "" {
+		obs.FromContext(r.Context()).MergeRemote(obs.DecodeSpans(enc))
+	}
 	return nil
 }
 
@@ -156,6 +189,7 @@ func (p *Peer) PostJSON(ctx context.Context, path, from string, v, out any) erro
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, from)
+	setTrace(ctx, req)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return err
@@ -204,6 +238,7 @@ func (p *Peer) FetchIndex(ctx context.Context, from, id string) (io.ReadCloser, 
 		return nil, err
 	}
 	req.Header.Set(ForwardHeader, from)
+	setTrace(ctx, req)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -227,6 +262,7 @@ func (p *Peer) PushIndex(ctx context.Context, from, id string, body io.Reader) e
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(ForwardHeader, from)
+	setTrace(ctx, req)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return err
@@ -248,6 +284,7 @@ func (p *Peer) GetJSON(ctx context.Context, path, from string, out any) error {
 		return err
 	}
 	req.Header.Set(ForwardHeader, from)
+	setTrace(ctx, req)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return err

@@ -56,9 +56,16 @@ type Router struct {
 	ringVersion uint64
 	peers       map[string]*Peer
 
+	stats Stats
+
 	stopOnce sync.Once
 	stopc    chan struct{}
 }
+
+// Stats returns the router's cluster-layer counters; callers increment the
+// atomic fields directly from the gossip and handoff paths and /metrics
+// snapshots them.
+func (r *Router) Stats() *Stats { return &r.stats }
 
 // NewRouter builds a router from the config.
 func NewRouter(cfg Config) (*Router, error) {

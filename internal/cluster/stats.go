@@ -1,0 +1,70 @@
+package cluster
+
+import "sync/atomic"
+
+// Stats aggregates the cluster-layer operational counters — gossip rounds
+// and their digest-diff volumes, index-handoff traffic, and cumulative
+// durations — incremented lock-free from the anti-entropy loop and the
+// handoff paths, and drained by the /metrics exposition (JSON "cluster"
+// section and the fairrank_gossip_* / fairrank_handoff_* Prometheus
+// series). The Router owns one instance per node.
+type Stats struct {
+	// GossipRounds counts completed anti-entropy exchanges (including the
+	// bootstrap exchange a joining node runs); GossipFailures the exchanges
+	// that errored part-way.
+	GossipRounds   atomic.Int64
+	GossipFailures atomic.Int64
+	// EntriesPulled / EntriesPushed count metadata entries that actually
+	// moved in a digest diff — how much repair the gossip is doing.
+	EntriesPulled atomic.Int64
+	EntriesPushed atomic.Int64
+	// GossipNs accumulates wall time spent in exchanges: together with
+	// GossipRounds it yields the mean converge duration.
+	GossipNs atomic.Int64
+
+	// HandoffPulls / HandoffPushes count completed index transfers (pull:
+	// this node fetched an index it now owns; push: a drain shipped one
+	// out); HandoffFailures the transfers that fell back to rebuild.
+	HandoffPulls    atomic.Int64
+	HandoffPushes   atomic.Int64
+	HandoffFailures atomic.Int64
+	// HandoffBytesIn / HandoffBytesOut count index bytes received/served on
+	// the handoff endpoints, both pull and push side.
+	HandoffBytesIn  atomic.Int64
+	HandoffBytesOut atomic.Int64
+	// HandoffNs accumulates wall time spent transferring+loading indexes.
+	HandoffNs atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats, shaped for JSON.
+type StatsSnapshot struct {
+	GossipRounds        int64 `json:"gossip_rounds"`
+	GossipFailures      int64 `json:"gossip_failures"`
+	GossipEntriesPulled int64 `json:"gossip_entries_pulled"`
+	GossipEntriesPushed int64 `json:"gossip_entries_pushed"`
+	GossipNsTotal       int64 `json:"gossip_ns_total"`
+	HandoffPulls        int64 `json:"handoff_pulls"`
+	HandoffPushes       int64 `json:"handoff_pushes"`
+	HandoffFailures     int64 `json:"handoff_failures"`
+	HandoffBytesIn      int64 `json:"handoff_bytes_in"`
+	HandoffBytesOut     int64 `json:"handoff_bytes_out"`
+	HandoffNsTotal      int64 `json:"handoff_ns_total"`
+}
+
+// Snapshot copies the counters (each atomically; the set is not a single
+// consistent cut, which is fine for monitoring).
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		GossipRounds:        s.GossipRounds.Load(),
+		GossipFailures:      s.GossipFailures.Load(),
+		GossipEntriesPulled: s.EntriesPulled.Load(),
+		GossipEntriesPushed: s.EntriesPushed.Load(),
+		GossipNsTotal:       s.GossipNs.Load(),
+		HandoffPulls:        s.HandoffPulls.Load(),
+		HandoffPushes:       s.HandoffPushes.Load(),
+		HandoffFailures:     s.HandoffFailures.Load(),
+		HandoffBytesIn:      s.HandoffBytesIn.Load(),
+		HandoffBytesOut:     s.HandoffBytesOut.Load(),
+		HandoffNsTotal:      s.HandoffNs.Load(),
+	}
+}

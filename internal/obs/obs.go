@@ -1,0 +1,328 @@
+// Package obs is fairrankd's zero-dependency observability layer: request
+// tracing with cheap per-stage span records, a bounded in-memory ring of
+// recent traces (GET /debug/traces), a sampled slow-query log on log/slog,
+// Prometheus text exposition for the existing JSON metrics, and histogram
+// quantile estimation over the fixed latency bucket scale.
+//
+// The package is stdlib-only and import-light by design: internal/cluster,
+// internal/service, and the root fairrank package all thread it through the
+// serving path, so it must sit below every other layer.
+//
+// Tracing contract: every HTTP request gets a trace ID — inherited from the
+// X-Fairrank-Trace request header when present (so a caller, or a forwarding
+// cluster member, can stitch hops together), freshly generated otherwise.
+// Handlers record named stage spans ("decode", "forward", "cache", "planner",
+// "kernel") through a Recorder carried in the request context; a node serving
+// a forwarded hop returns its span records to the forwarder in an
+// X-Fairrank-Spans HTTP trailer, and the forwarder merges them into its own
+// trace — one coherent trace per cross-node request. Recording is nil-safe
+// and off the hot path: code outside an HTTP request (benchmarks, library
+// callers) carries no Recorder and pays only a nil check per stage.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the request header carrying the trace ID across hops: a
+// client may set it to stitch fairrankd spans into its own tracing, and the
+// cluster's peer client sets it on every forwarded or cluster-internal
+// request.
+const TraceHeader = "X-Fairrank-Trace"
+
+// SpansHeader is the HTTP trailer through which a forwarded-to node returns
+// its span records to the forwarder (see EncodeSpans). It is a trailer, not a
+// header, because the spans exist only after the response body was written.
+const SpansHeader = "X-Fairrank-Spans"
+
+// SpanRecord is one completed stage of a trace: a name, the node that ran it,
+// its start offset from the trace start, and its duration. Records are small
+// value types so a trace costs one slice, not a span tree.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	Node    string `json:"node,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Note    string `json:"note,omitempty"`
+}
+
+// Trace is one finished request (or background operation): identity, timing,
+// HTTP status, and the stage spans — including spans merged back from remote
+// hops, which carry the remote node's name.
+type Trace struct {
+	ID         string       `json:"id"`
+	Op         string       `json:"op"`
+	Target     string       `json:"target,omitempty"`
+	Node       string       `json:"node"`
+	Start      time.Time    `json:"start"`
+	DurationNs int64        `json:"duration_ns"`
+	Status     int          `json:"status,omitempty"`
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// Recorder accumulates the spans of one trace. All methods are safe on a nil
+// receiver (no-ops), so instrumented code never branches on "is tracing on".
+type Recorder struct {
+	id   string
+	op   string
+	node string
+	strt time.Time
+
+	mu     sync.Mutex
+	target string
+	spans  []SpanRecord
+}
+
+// NewRecorder starts a trace. id is kept verbatim (callers validate inherited
+// ids with ValidTraceID first); op names the operation ("POST /v1/...",
+// "handoff-pull").
+func NewRecorder(id, op, node string) *Recorder {
+	return &Recorder{id: id, op: op, node: node, strt: time.Now()}
+}
+
+// ID returns the trace id ("" on nil).
+func (r *Recorder) ID() string {
+	if r == nil {
+		return ""
+	}
+	return r.id
+}
+
+// SetTarget annotates the trace with its subject (typically a designer id).
+func (r *Recorder) SetTarget(target string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.target = target
+	r.mu.Unlock()
+}
+
+// Span is an in-flight stage handle returned by Start; End (or EndNote)
+// completes it. The zero Span (from a nil Recorder) is a no-op.
+type Span struct {
+	r     *Recorder
+	idx   int
+	start time.Time
+}
+
+// Start opens a named stage span at the current instant.
+func (r *Recorder) Start(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	now := time.Now()
+	r.mu.Lock()
+	idx := len(r.spans)
+	r.spans = append(r.spans, SpanRecord{Name: name, Node: r.node, StartNs: now.Sub(r.strt).Nanoseconds()})
+	r.mu.Unlock()
+	return Span{r: r, idx: idx, start: now}
+}
+
+// End completes the span.
+func (s Span) End() { s.EndNote("") }
+
+// EndNote completes the span with a short annotation (e.g. the planner's
+// decision summary, or "hit" on a cache lookup).
+func (s Span) EndNote(note string) {
+	if s.r == nil {
+		return
+	}
+	d := time.Since(s.start).Nanoseconds()
+	s.r.mu.Lock()
+	sp := &s.r.spans[s.idx]
+	sp.DurNs = d
+	if note != "" {
+		sp.Note = note
+	}
+	s.r.mu.Unlock()
+}
+
+// MergeRemote appends span records returned by a remote hop (decoded from the
+// SpansHeader trailer). Remote offsets are relative to the remote trace
+// start; they are rebased so the latest remote span ends at the merge instant
+// — aligned up to the return-path network latency, which is close enough for
+// reading a trace.
+func (r *Recorder) MergeRemote(spans []SpanRecord) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	now := time.Since(r.strt).Nanoseconds()
+	var remoteEnd int64
+	for _, s := range spans {
+		if end := s.StartNs + s.DurNs; end > remoteEnd {
+			remoteEnd = end
+		}
+	}
+	delta := now - remoteEnd
+	if delta < 0 {
+		delta = 0
+	}
+	r.mu.Lock()
+	for _, s := range spans {
+		s.StartNs += delta
+		r.spans = append(r.spans, s)
+	}
+	r.mu.Unlock()
+}
+
+// Finish seals the trace with the response status (0 for background
+// operations) and returns it.
+func (r *Recorder) Finish(status int) Trace {
+	if r == nil {
+		return Trace{}
+	}
+	dur := time.Since(r.strt).Nanoseconds()
+	r.mu.Lock()
+	t := Trace{
+		ID: r.id, Op: r.op, Target: r.target, Node: r.node,
+		Start: r.strt, DurationNs: dur, Status: status,
+		Spans: append([]SpanRecord(nil), r.spans...),
+	}
+	r.mu.Unlock()
+	return t
+}
+
+// Spans returns a copy of the records collected so far — the payload of the
+// SpansHeader trailer on a forwarded hop.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the recorder.
+func NewContext(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the recorder carried by ctx, or nil — the nil flows
+// straight into the nil-safe Recorder methods, so callers never branch.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}
+
+// TraceID returns the trace id carried by ctx ("" when none) — what the
+// cluster peer client stamps into TraceHeader on outbound requests.
+func TraceID(ctx context.Context) string {
+	return FromContext(ctx).ID()
+}
+
+// NewTraceID returns a fresh 16-hex-char trace id.
+func NewTraceID() string {
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand.Read never fails
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether an inherited trace id is safe to adopt:
+// 1-64 chars of [A-Za-z0-9_-], so a hostile header cannot inject log lines
+// or unbounded memory into the trace ring.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeSpans serializes span records for the SpansHeader trailer: records
+// joined by ';', fields by '|', free-text fields query-escaped.
+func EncodeSpans(spans []SpanRecord) string {
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(url.QueryEscape(s.Name))
+		b.WriteByte('|')
+		b.WriteString(url.QueryEscape(s.Node))
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatInt(s.StartNs, 10))
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatInt(s.DurNs, 10))
+		b.WriteByte('|')
+		b.WriteString(url.QueryEscape(s.Note))
+	}
+	return b.String()
+}
+
+// DecodeSpans parses an EncodeSpans payload, dropping malformed records — a
+// truncated trailer degrades to fewer spans, never to an error on the
+// forward path.
+func DecodeSpans(enc string) []SpanRecord {
+	if enc == "" {
+		return nil
+	}
+	var out []SpanRecord
+	for _, rec := range strings.Split(enc, ";") {
+		f := strings.Split(rec, "|")
+		if len(f) != 5 {
+			continue
+		}
+		name, err1 := url.QueryUnescape(f[0])
+		node, err2 := url.QueryUnescape(f[1])
+		start, err3 := strconv.ParseInt(f[2], 10, 64)
+		dur, err4 := strconv.ParseInt(f[3], 10, 64)
+		note, err5 := url.QueryUnescape(f[4])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			continue
+		}
+		out = append(out, SpanRecord{Name: name, Node: node, StartNs: start, DurNs: dur, Note: note})
+	}
+	return out
+}
+
+// CountingWriter counts the bytes written through it — handoff stream
+// accounting without buffering.
+type CountingWriter struct {
+	W io.Writer
+	n int64
+}
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	atomic.AddInt64(&c.n, int64(n))
+	return n, err
+}
+
+// N returns the bytes written so far.
+func (c *CountingWriter) N() int64 { return atomic.LoadInt64(&c.n) }
+
+// CountingReader counts the bytes read through it.
+type CountingReader struct {
+	R io.Reader
+	n int64
+}
+
+// Read implements io.Reader.
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	atomic.AddInt64(&c.n, int64(n))
+	return n, err
+}
+
+// N returns the bytes read so far.
+func (c *CountingReader) N() int64 { return atomic.LoadInt64(&c.n) }

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanCodecRoundTrip(t *testing.T) {
+	in := []SpanRecord{
+		{Name: "decode", Node: "node-a", StartNs: 120, DurNs: 4500},
+		{Name: "forward", Node: "node-a", StartNs: 5000, DurNs: 900000, Note: "peer=node-b"},
+		// Free text with every delimiter the wire format uses.
+		{Name: "planner", Node: "nodé|b", StartNs: 0, DurNs: 1, Note: "chunk=64; workers=4 | sorted"},
+	}
+	out := DecodeSpans(EncodeSpans(in))
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost records: %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("record %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeSpansDropsMalformed(t *testing.T) {
+	enc := EncodeSpans([]SpanRecord{{Name: "ok", Node: "n", StartNs: 1, DurNs: 2}})
+	got := DecodeSpans("garbage;" + enc + ";a|b|notanint|4|x;short|rec")
+	if len(got) != 1 || got[0].Name != "ok" {
+		t.Fatalf("want only the valid record, got %+v", got)
+	}
+	if DecodeSpans("") != nil {
+		t.Fatal("empty payload must decode to nil")
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"a", "deadbeef01234567", "A-b_9", strings.Repeat("x", 64)} {
+		if !ValidTraceID(ok) {
+			t.Errorf("%q should be valid", ok)
+		}
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 65), "has space", "semi;colon", "new\nline", "ütf"} {
+		if ValidTraceID(bad) {
+			t.Errorf("%q should be invalid", bad)
+		}
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.ID() != "" {
+		t.Fatal("nil ID")
+	}
+	r.SetTarget("x")
+	sp := r.Start("stage")
+	sp.End()
+	sp.EndNote("note")
+	r.MergeRemote([]SpanRecord{{Name: "remote"}})
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil recorder returned spans %v", got)
+	}
+	r.Finish(200)
+}
+
+func TestMergeRemoteRebasesOffsets(t *testing.T) {
+	r := NewRecorder("id", "op", "node-a")
+	time.Sleep(2 * time.Millisecond)
+	r.MergeRemote([]SpanRecord{
+		{Name: "cache", Node: "node-b", StartNs: 0, DurNs: 100},
+		{Name: "kernel", Node: "node-b", StartNs: 100, DurNs: 900},
+	})
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// Both spans shift by the same delta; the latest remote end lands at the
+	// merge instant, which is strictly after the local trace start.
+	if spans[1].StartNs-spans[0].StartNs != 100 {
+		t.Fatalf("relative remote offsets not preserved: %+v", spans)
+	}
+	if spans[0].StartNs <= 0 {
+		t.Fatalf("remote spans not rebased into the local timeline: %+v", spans)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Trace{ID: fmt.Sprintf("t%d", i)})
+	}
+	traces, total := r.Snapshot()
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("len = %d, want 3", len(traces))
+	}
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if traces[i].ID != want {
+			t.Fatalf("newest-first order broken: %v", traces)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []time.Duration{10, 100, 1000}
+	// 10 obs in (0,10], 10 in (10,100], none above.
+	counts := []int64{10, 10, 0, 0}
+	if got := HistogramQuantile(0.5, bounds, counts); got != 10 {
+		t.Fatalf("p50 = %v, want 10 (upper bound of first bucket)", got)
+	}
+	// p75 = rank 15 → 5 of 10 into the (10,100] bucket → 10 + 0.5*90 = 55.
+	if got := HistogramQuantile(0.75, bounds, counts); got != 55 {
+		t.Fatalf("p75 = %v, want 55", got)
+	}
+	// Overflow bucket clamps to the largest finite bound.
+	if got := HistogramQuantile(0.99, bounds, []int64{0, 0, 0, 10}); got != 1000 {
+		t.Fatalf("overflow quantile = %v, want clamp to 1000", got)
+	}
+	if got := HistogramQuantile(0.5, bounds, []int64{0, 0, 0, 0}); got != 0 {
+		t.Fatalf("empty histogram = %v, want 0", got)
+	}
+	if got := HistogramQuantile(0.5, bounds, []int64{1, 2}); got != 0 {
+		t.Fatalf("mismatched bars = %v, want 0", got)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	p := NewProm()
+	p.Counter("x_total", "A counter.", 3, "designer", `he said "hi"\`)
+	p.Gauge("g", "A gauge.", 0.25)
+	p.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.004}, []int64{2, 3, 1}, 0.0125)
+	p.Summary("sum_seconds", "Total.", 1.5, 4)
+	var b bytes.Buffer
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_total A counter.",
+		"# TYPE x_total counter",
+		`x_total{designer="he said \"hi\"\\"} 3`,
+		"# TYPE g gauge",
+		"g 0.25",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.001"} 2`,
+		`lat_seconds_bucket{le="0.004"} 5`, // cumulative, not per-bar
+		`lat_seconds_bucket{le="+Inf"} 6`,  // includes the overflow bar
+		"lat_seconds_sum 0.0125",
+		"lat_seconds_count 6",
+		"# TYPE sum_seconds summary",
+		"sum_seconds_sum 1.5",
+		"sum_seconds_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value" — the value after
+	// the final space must parse as a float.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("sample line %q has non-numeric value: %v", line, err)
+		}
+	}
+}
+
+func TestCountingReaderWriter(t *testing.T) {
+	var sink bytes.Buffer
+	cw := &CountingWriter{W: &sink}
+	if _, err := cw.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if cw.N() != 5 || sink.String() != "hello" {
+		t.Fatalf("writer: n=%d buf=%q", cw.N(), sink.String())
+	}
+	cr := &CountingReader{R: strings.NewReader("abcdefgh")}
+	if _, err := io.ReadAll(cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.N() != 8 {
+		t.Fatalf("reader: n=%d", cr.N())
+	}
+}
+
+func TestMiddlewareGeneratesAndInheritsTraceIDs(t *testing.T) {
+	tr := NewTracer(Config{Node: "node-a", Buffer: 8})
+	var sawID string
+	h := tr.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := FromContext(r.Context())
+		sawID = rec.ID()
+		rec.Start("decode").End()
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	// Fresh trace: an id is generated and the trace lands in the ring.
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/v1/designers/d/suggest", nil))
+	if !ValidTraceID(sawID) {
+		t.Fatalf("generated id %q invalid", sawID)
+	}
+	traces, _ := tr.Traces()
+	if len(traces) != 1 || traces[0].ID != sawID || traces[0].Status != http.StatusTeapot {
+		t.Fatalf("trace not recorded: %+v", traces)
+	}
+	if len(traces[0].Spans) != 1 || traces[0].Spans[0].Name != "decode" {
+		t.Fatalf("span not recorded: %+v", traces[0].Spans)
+	}
+
+	// Inherited trace: the handler sees the caller's id.
+	req := httptest.NewRequest("POST", "/v1/designers/d/suggest", nil)
+	req.Header.Set(TraceHeader, "caller-trace-1")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if sawID != "caller-trace-1" {
+		t.Fatalf("inherited id = %q", sawID)
+	}
+
+	// Invalid inherited id: replaced, not adopted.
+	req = httptest.NewRequest("POST", "/v1/designers/d/suggest", nil)
+	req.Header.Set(TraceHeader, "bad id with spaces")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if sawID == "bad id with spaces" || !ValidTraceID(sawID) {
+		t.Fatalf("invalid inherited id adopted: %q", sawID)
+	}
+
+	// /healthz and /debug/ stay out of the ring.
+	before, _ := tr.Traces()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/debug/traces", nil))
+	after, _ := tr.Traces()
+	if len(after) != len(before) {
+		t.Fatal("probe paths were traced")
+	}
+}
+
+func TestSlowQueryLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := NewTracer(Config{Node: "n", SlowThreshold: time.Nanosecond, SlowEvery: 3, Logger: logger})
+	h := tr.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Microsecond) // every request counts as slow
+	}))
+	for i := 0; i < 7; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/datasets", nil))
+	}
+	got := strings.Count(buf.String(), "slow request")
+	if got != 3 { // slow_seen 1, 4, 7
+		t.Fatalf("sampled %d slow-log lines, want 3:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "slow_seen=7") {
+		t.Fatalf("slow_seen counter missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prom accumulates samples grouped into metric families and renders them in
+// the Prometheus text exposition format (version 0.0.4): one # HELP and
+// # TYPE line per family, samples in insertion order, label values escaped
+// per the spec. It exists so fairrankd can expose /metrics?format=prometheus
+// without importing a client library.
+type Prom struct {
+	order    []string
+	families map[string]*promFamily
+}
+
+type promFamily struct {
+	typ     string
+	help    string
+	samples []promSample
+}
+
+type promSample struct {
+	suffix string // appended to the family name ("_total", "_bucket", ...)
+	labels []string
+	value  float64
+}
+
+// NewProm returns an empty collector.
+func NewProm() *Prom {
+	return &Prom{families: make(map[string]*promFamily)}
+}
+
+func (p *Prom) family(name, typ, help string) *promFamily {
+	f, ok := p.families[name]
+	if !ok {
+		f = &promFamily{typ: typ, help: help}
+		p.families[name] = f
+		p.order = append(p.order, name)
+	}
+	return f
+}
+
+// Counter adds a counter sample. labels are alternating key, value pairs.
+// The name should end in _total per Prometheus naming conventions.
+func (p *Prom) Counter(name, help string, v float64, labels ...string) {
+	f := p.family(name, "counter", help)
+	f.samples = append(f.samples, promSample{labels: labels, value: v})
+}
+
+// Gauge adds a gauge sample.
+func (p *Prom) Gauge(name, help string, v float64, labels ...string) {
+	f := p.family(name, "gauge", help)
+	f.samples = append(f.samples, promSample{labels: labels, value: v})
+}
+
+// Histogram adds a full histogram: bounds are the bucket upper bounds in
+// seconds, counts the per-bucket (non-cumulative) bars with one extra
+// overflow bar; the rendered _bucket series are cumulative with a final
+// le="+Inf", as scrapers require.
+func (p *Prom) Histogram(name, help string, bounds []float64, counts []int64, sumSeconds float64, labels ...string) {
+	f := p.family(name, "histogram", help)
+	var cum int64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		le := append(append([]string{}, labels...), "le", formatPromFloat(b))
+		f.samples = append(f.samples, promSample{suffix: "_bucket", labels: le, value: float64(cum)})
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	inf := append(append([]string{}, labels...), "le", "+Inf")
+	f.samples = append(f.samples, promSample{suffix: "_bucket", labels: inf, value: float64(total)})
+	f.samples = append(f.samples, promSample{suffix: "_sum", labels: labels, value: sumSeconds})
+	f.samples = append(f.samples, promSample{suffix: "_count", labels: labels, value: float64(total)})
+}
+
+// Summary adds a summary's _sum and _count (durations aggregated without
+// bucket bars — gossip converge and handoff durations).
+func (p *Prom) Summary(name, help string, sumSeconds float64, count int64, labels ...string) {
+	f := p.family(name, "summary", help)
+	f.samples = append(f.samples, promSample{suffix: "_sum", labels: labels, value: sumSeconds})
+	f.samples = append(f.samples, promSample{suffix: "_count", labels: labels, value: float64(count)})
+}
+
+// WriteTo renders every family and returns the bytes written.
+func (p *Prom) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, name := range p.order {
+		f := p.families[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapePromHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(name)
+			b.WriteString(s.suffix)
+			writePromLabels(&b, s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatPromFloat(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writePromLabels(b *strings.Builder, labels []string) {
+	if len(labels) < 2 {
+		return
+	}
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapePromLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapePromLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapePromHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "time"
+
+// HistogramQuantile estimates the q-quantile (0 < q < 1) of a latency
+// histogram with the given upper bounds, using the same linear interpolation
+// within the winning bucket as Prometheus's histogram_quantile. counts has
+// one non-cumulative bar per bound plus a final overflow bar
+// (len(counts) == len(bounds)+1).
+//
+// Because the estimate is a pure function of the bars and bars add exactly
+// under snapshot merging, quantiles recomputed after a Merge equal the
+// quantiles of the combined traffic — the property the cross-shard rollup
+// relies on.
+//
+// The overflow bar has no upper bound; a quantile landing there is clamped
+// to the largest finite bound (a known underestimate, reported rather than
+// guessing at an unbounded tail). Returns 0 when the histogram is empty.
+func HistogramQuantile(q float64, bounds []time.Duration, counts []int64) time.Duration {
+	if q <= 0 || q >= 1 || len(bounds) == 0 || len(counts) != len(bounds)+1 {
+		return 0
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts[:len(bounds)] {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+	}
+	return bounds[len(bounds)-1]
+}

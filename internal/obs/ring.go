@@ -1,0 +1,52 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded buffer of the most recent traces, overwritten oldest
+// first — the backing store of GET /debug/traces. A fixed ring keeps memory
+// constant no matter the request rate.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Trace
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding up to size traces (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{buf: make([]Trace, 0, size)}
+}
+
+// Add records a finished trace, evicting the oldest when full.
+func (r *Ring) Add(t Trace) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered traces newest first, plus the count of all
+// traces ever added (so a reader can tell how much history the ring evicted).
+func (r *Ring) Snapshot() ([]Trace, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.buf))
+	// Entries [next, len) are the oldest (post-wrap) portion; walk backwards
+	// from the newest entry, which sits just before next.
+	for i := 0; i < len(r.buf); i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out, r.total
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NewLogger builds the node's structured logger: slog text output with a
+// per-node field on every line, replacing the bare log.Printf plumbing.
+func NewLogger(w io.Writer, node string) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil)).With("node", node)
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// Node is stamped on every locally recorded span.
+	Node string
+	// Buffer is the trace ring capacity (default 256).
+	Buffer int
+	// SlowThreshold enables the slow-query log for traces at least this
+	// slow; zero disables it.
+	SlowThreshold time.Duration
+	// SlowEvery samples the slow-query log: the 1st, (1+N)th, (1+2N)th...
+	// slow trace is logged. Values <= 1 log every slow trace.
+	SlowEvery int
+	// Logger receives slow-query records; nil disables the slow log.
+	Logger *slog.Logger
+}
+
+// Tracer owns a node's trace ring and slow-query log, and wraps the HTTP mux
+// so every request is traced.
+type Tracer struct {
+	node      string
+	ring      *Ring
+	log       *slog.Logger
+	threshold time.Duration
+	every     int64
+	slowSeen  atomic.Int64
+}
+
+// NewTracer builds a Tracer from cfg.
+func NewTracer(cfg Config) *Tracer {
+	size := cfg.Buffer
+	if size <= 0 {
+		size = 256
+	}
+	every := int64(cfg.SlowEvery)
+	if every < 1 {
+		every = 1
+	}
+	return &Tracer{
+		node:      cfg.Node,
+		ring:      NewRing(size),
+		log:       cfg.Logger,
+		threshold: cfg.SlowThreshold,
+		every:     every,
+	}
+}
+
+// Traces returns the buffered traces newest first and the total ever
+// recorded.
+func (t *Tracer) Traces() ([]Trace, uint64) { return t.ring.Snapshot() }
+
+// Background starts a recorder for a non-HTTP operation (gossip exchange,
+// handoff pull); seal it with Done.
+func (t *Tracer) Background(op string) *Recorder {
+	return NewRecorder(NewTraceID(), op, t.node)
+}
+
+// Done seals a Background recorder into the ring and the slow-query log.
+func (t *Tracer) Done(r *Recorder) {
+	if t == nil || r == nil {
+		return
+	}
+	t.observe(r.Finish(0))
+}
+
+func (t *Tracer) observe(tr Trace) {
+	t.ring.Add(tr)
+	if t.log == nil || t.threshold <= 0 || time.Duration(tr.DurationNs) < t.threshold {
+		return
+	}
+	n := t.slowSeen.Add(1)
+	if (n-1)%t.every != 0 {
+		return
+	}
+	t.log.Warn("slow request",
+		"trace", tr.ID,
+		"op", tr.Op,
+		"target", tr.Target,
+		"duration_ms", float64(tr.DurationNs)/1e6,
+		"status", tr.Status,
+		"stages", stageSummary(tr.Spans),
+		"slow_seen", n,
+	)
+}
+
+// stageSummary renders spans as "decode=12µs forward=1.2ms(node-b)" ordered
+// by start offset — one greppable field per slow-log line.
+func stageSummary(spans []SpanRecord) string {
+	sorted := append([]SpanRecord(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].StartNs < sorted[j].StartNs })
+	var b strings.Builder
+	for i, s := range sorted {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", s.Name, time.Duration(s.DurNs))
+	}
+	return b.String()
+}
+
+// statusWriter captures the response status for the trace record.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so streamed responses (index
+// handoff) keep flushing through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next so every request runs with a Recorder in its
+// context: the trace id is inherited from TraceHeader when valid (a
+// forwarded hop or an external caller stitching hops), generated otherwise;
+// the finished trace lands in the ring and, when slow, the slow-query log.
+// On an inherited trace the local spans are returned to the caller in the
+// SpansHeader trailer so the forwarder can merge them. /healthz and /debug/
+// requests pass through untraced — probe noise would drown real traffic in
+// the ring.
+func (t *Tracer) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if path == "/healthz" || strings.HasPrefix(path, "/debug/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := r.Header.Get(TraceHeader)
+		inherited := ValidTraceID(id)
+		if !inherited {
+			id = NewTraceID()
+		}
+		rec := NewRecorder(id, r.Method+" "+path, t.node)
+		sw := &statusWriter{ResponseWriter: w}
+		if inherited {
+			// The caller is stitching this hop into its own trace: declare the
+			// spans trailer up front. Declaring it forces chunked encoding, so
+			// the trailer survives even on small fully-buffered responses the
+			// server would otherwise ship with a Content-Length (undeclared
+			// TrailerPrefix trailers are silently dropped there).
+			w.Header().Set("Trailer", SpansHeader)
+		}
+		next.ServeHTTP(sw, r.WithContext(NewContext(r.Context(), rec)))
+		if inherited {
+			// The spans exist only now; a declared trailer is set by writing
+			// the plain key after the response body.
+			w.Header().Set(SpansHeader, EncodeSpans(rec.Spans()))
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		t.observe(rec.Finish(status))
+	})
+}

@@ -28,6 +28,7 @@
 package planner
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"slices"
@@ -178,6 +179,16 @@ type Plan struct {
 
 // PassThrough reports that the plan keeps the caller's order and slots.
 func (p *Plan) PassThrough() bool { return p.Queries == nil }
+
+// Describe summarizes the plan's decisions in one short line — the trace
+// annotation for the "planner" stage of a batch request.
+func (p *Plan) Describe() string {
+	if p.PassThrough() {
+		return fmt.Sprintf("pass-through chunk=%d workers=%d", p.ChunkSize, p.Workers)
+	}
+	return fmt.Sprintf("kernel_slots=%d dup_slots=%d sorted=%t chunk=%d workers=%d",
+		len(p.Queries), p.dupSlots, p.Sorted, p.ChunkSize, p.Workers)
+}
 
 // Plan decides one batch's schedule from the current observables. qs is not
 // modified; the returned plan references it only through indices.

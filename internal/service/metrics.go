@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"fairrank/internal/obs"
 )
 
 // latency histogram buckets: powers of 4 from 1µs to ~1s, plus overflow.
@@ -21,6 +23,15 @@ var bucketBounds = [...]time.Duration{
 	64 * time.Millisecond,
 	256 * time.Millisecond,
 	1 * time.Second,
+}
+
+// BucketBounds returns the fixed latency-histogram scale shared by every
+// snapshot — exporters (Prometheus text rendering, quantile estimation)
+// need the numeric bounds behind the formatted Le strings.
+func BucketBounds() []time.Duration {
+	out := make([]time.Duration, len(bucketBounds))
+	copy(out, bucketBounds[:])
+	return out
 }
 
 // Metrics accumulates per-designer serving counters. All fields are atomic:
@@ -97,7 +108,17 @@ type MetricsSnapshot struct {
 	CacheHits      int64    `json:"cache_hits"`
 	CacheMisses    int64    `json:"cache_misses"`
 	LatencyMeanNs  int64    `json:"latency_mean_ns"`
+	LatencySumNs   int64    `json:"latency_sum_ns"`
 	LatencyBuckets []Bucket `json:"latency_buckets"`
+
+	// Quantiles estimated from the fixed-scale histogram bars (linear
+	// interpolation within the winning bucket, clamped at the largest finite
+	// bound). Pure functions of the bars, so Merge recomputes them from the
+	// merged bars and they stay exact under cross-shard rollup: merged
+	// quantiles == quantiles of the combined traffic.
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP95Ns int64 `json:"latency_p95_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
 
 	// Batch-planner observables, filled for engines that expose BatchPlanner
 	// (see SetBatchPlan): the fraction of batch slots answered by duplicate
@@ -143,8 +164,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CacheHits:    m.cacheHits.Load(),
 		CacheMisses:  m.cacheMisses.Load(),
 	}
+	s.LatencySumNs = m.latencySum.Load()
 	if count := m.latencyCount.Load(); count > 0 {
-		s.LatencyMeanNs = m.latencySum.Load() / count
+		s.LatencyMeanNs = s.LatencySumNs / count
 	}
 	s.LatencyBuckets = make([]Bucket, 0, len(m.buckets))
 	for i := range m.buckets {
@@ -154,18 +176,45 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		}
 		s.LatencyBuckets = append(s.LatencyBuckets, Bucket{Le: le, Count: m.buckets[i].Load()})
 	}
+	s.refreshQuantiles()
 	return s
 }
 
-// Merge folds o into s: counters add, histograms add bar by bar (every
-// snapshot shares the fixed bucketBounds scale), and the mean recombines
-// weighted by observation counts — the per-shard rollup of a cluster status
-// endpoint.
+// refreshQuantiles recomputes p50/p95/p99 from the histogram bars. Called
+// after Snapshot fills the bars and again after Merge adds bars together —
+// in both cases the inputs are the same fixed-scale bars, so a merged
+// snapshot reports exactly the quantiles of the combined traffic.
+func (s *MetricsSnapshot) refreshQuantiles() {
+	if len(s.LatencyBuckets) != len(bucketBounds)+1 {
+		return // foreign or legacy snapshot on a different scale
+	}
+	counts := make([]int64, len(s.LatencyBuckets))
+	for i, b := range s.LatencyBuckets {
+		counts[i] = b.Count
+	}
+	bounds := bucketBounds[:]
+	s.LatencyP50Ns = obs.HistogramQuantile(0.50, bounds, counts).Nanoseconds()
+	s.LatencyP95Ns = obs.HistogramQuantile(0.95, bounds, counts).Nanoseconds()
+	s.LatencyP99Ns = obs.HistogramQuantile(0.99, bounds, counts).Nanoseconds()
+}
+
+// Merge folds o into s: counters and latency sums add, histograms add bar
+// by bar (every snapshot shares the fixed bucketBounds scale), the mean
+// recombines from the merged sum and count, and the quantiles are
+// recomputed from the merged bars — the per-shard rollup of a cluster
+// status endpoint, exact in the sense that merging split snapshots yields
+// the snapshot of the combined traffic.
 func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	sn, on := bucketTotal(s.LatencyBuckets), bucketTotal(o.LatencyBuckets)
-	if sn+on > 0 {
+	switch {
+	case s.LatencySumNs+o.LatencySumNs > 0 && sn+on > 0:
+		s.LatencyMeanNs = (s.LatencySumNs + o.LatencySumNs) / (sn + on)
+	case sn+on > 0:
+		// Legacy snapshots (no latency_sum_ns) recombine weighted by
+		// observation count — the best available estimate.
 		s.LatencyMeanNs = (s.LatencyMeanNs*sn + o.LatencyMeanNs*on) / (sn + on)
 	}
+	s.LatencySumNs += o.LatencySumNs
 	s.Queries += o.Queries
 	s.Batches += o.Batches
 	s.BatchQueries += o.BatchQueries
@@ -178,11 +227,15 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	if s.BatchPlannerSlots > 0 {
 		s.BatchDedupRate = float64(s.BatchDedupedSlots) / float64(s.BatchPlannerSlots)
 	}
-	if s.PlannedChunkSize == 0 {
-		s.PlannedChunkSize = o.PlannedChunkSize // gauge: keep any recent value
+	// PlannedChunkSize is a gauge with no cross-shard ordering, so the merge
+	// must be deterministic regardless of fold order: take the max. (The old
+	// keep-s-if-nonzero rule silently discarded o's more recent observation.)
+	if o.PlannedChunkSize > s.PlannedChunkSize {
+		s.PlannedChunkSize = o.PlannedChunkSize
 	}
 	if len(s.LatencyBuckets) == 0 {
 		s.LatencyBuckets = append([]Bucket(nil), o.LatencyBuckets...)
+		s.refreshQuantiles()
 		return
 	}
 	for i := range s.LatencyBuckets {
@@ -190,6 +243,7 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 			s.LatencyBuckets[i].Count += o.LatencyBuckets[i].Count
 		}
 	}
+	s.refreshQuantiles()
 }
 
 // bucketTotal is the histogram's observation count: observe adds each query

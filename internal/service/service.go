@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fairrank/internal/obs"
 )
 
 // Suggestion mirrors fairrank.Suggestion without importing it.
@@ -54,6 +56,14 @@ type Engine interface {
 // planned_chunk_size, resume_hits on /metrics).
 type BatchPlanner interface {
 	BatchPlanStats() BatchPlanStats
+}
+
+// ContextBatcher is an optional Engine capability: engines that can record
+// their own trace stages (planner, kernel) take the context so the spans
+// land on the request's obs.Recorder. SuggestBatchCtx must answer
+// identically to SuggestBatch.
+type ContextBatcher interface {
+	SuggestBatchCtx(ctx context.Context, ws [][]float64) []Result
 }
 
 // BuildFunc builds (or rebuilds) an engine — the offline phase. It runs on a
@@ -362,7 +372,16 @@ func (e *Entry) Engine() (Engine, error) {
 // query direction) — see cache.go — so the repeated queries of a design loop
 // skip the engine entirely; hits still count as served queries.
 func (e *Entry) Suggest(w []float64) (*Suggestion, error) {
+	return e.SuggestCtx(context.Background(), w)
+}
+
+// SuggestCtx is Suggest with trace-span recording: when ctx carries an
+// obs.Recorder (the HTTP path), the cache lookup and engine call are
+// recorded as "cache" and "kernel" stages. Callers without a recorder pay
+// one nil check per stage.
+func (e *Entry) SuggestCtx(ctx context.Context, w []float64) (*Suggestion, error) {
 	start := time.Now()
+	rec := obs.FromContext(ctx)
 	// Swap protocol, part 2 of 2 (part 1: runBuild stores engine before
 	// cache): the cache pointer is loaded BEFORE the engine pointer. The
 	// loaded cache can then only be as new as the loaded engine — a swap
@@ -373,12 +392,15 @@ func (e *Entry) Suggest(w []float64) (*Suggestion, error) {
 	key, norm, cacheable := cacheKey(w)
 	var cache *suggestCache
 	if cacheable {
+		sp := rec.Start("cache")
 		cache = e.cache.Load()
 		if a, ok := cache.get(key); ok {
+			sp.EndNote("hit")
 			e.metrics.recordCacheHit()
 			e.metrics.recordQueries(1, time.Since(start), 0)
 			return a.materialize(w, norm), nil
 		}
+		sp.EndNote("miss")
 	}
 	eng, err := e.Engine()
 	if err != nil {
@@ -387,7 +409,9 @@ func (e *Entry) Suggest(w []float64) (*Suggestion, error) {
 	if cacheable {
 		e.metrics.recordCacheMiss()
 	}
+	sp := rec.Start("kernel")
 	s, err := eng.Suggest(w)
+	sp.End()
 	e.metrics.recordQueries(1, time.Since(start), boolToInt(err != nil))
 	if err == nil && cache != nil {
 		a := cachedAnswer{norm: norm, distance: s.Distance, alreadyFair: s.AlreadyFair}
@@ -409,7 +433,16 @@ func (e *Entry) Suggest(w []float64) (*Suggestion, error) {
 // batch's amortized per-query latency, keeping single and batch traffic
 // comparable on one scale.
 func (e *Entry) SuggestBatch(ws [][]float64) ([]Result, error) {
+	return e.SuggestBatchCtx(context.Background(), ws)
+}
+
+// SuggestBatchCtx is SuggestBatch with trace-span recording: the cache
+// consult is the "cache" stage, and the engine call is either delegated to
+// a ContextBatcher engine (which records its own "planner" and "kernel"
+// stages) or wrapped in a "kernel" stage here.
+func (e *Entry) SuggestBatchCtx(ctx context.Context, ws [][]float64) ([]Result, error) {
 	start := time.Now()
+	rec := obs.FromContext(ctx)
 	// Same swap protocol as Suggest: the cache is loaded before the engine,
 	// so a swap between the loads can only pair a new engine with a dead
 	// cache — never a stale hit from the new generation's table.
@@ -419,6 +452,7 @@ func (e *Entry) SuggestBatch(ws [][]float64) ([]Result, error) {
 	var missIdx []int // nil: misses are ws verbatim (identity mapping)
 	hits := 0
 	if cache.len() > 0 {
+		sp := rec.Start("cache")
 		misses = misses[:0:0]
 		missIdx = make([]int, 0, len(ws))
 		for i, w := range ws {
@@ -433,6 +467,7 @@ func (e *Entry) SuggestBatch(ws [][]float64) ([]Result, error) {
 			missIdx = append(missIdx, i)
 		}
 		e.metrics.recordCacheHits(hits)
+		sp.EndNote(fmt.Sprintf("hits=%d/%d", hits, len(ws)))
 	}
 	failed := 0
 	if len(misses) > 0 || e.engine.Load() == nil {
@@ -443,7 +478,14 @@ func (e *Entry) SuggestBatch(ws [][]float64) ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sub := eng.SuggestBatch(misses)
+		var sub []Result
+		if cb, ok := eng.(ContextBatcher); ok {
+			sub = cb.SuggestBatchCtx(ctx, misses)
+		} else {
+			sp := rec.Start("kernel")
+			sub = eng.SuggestBatch(misses)
+			sp.End()
+		}
 		if missIdx == nil {
 			copy(results, sub)
 		} else {

@@ -102,6 +102,29 @@ echo "== suggest answered identically via both nodes"
 curl -fs "${base0}/cluster" | jq -e '.shards | length == 2' >/dev/null
 echo "== cluster status reports 2 shards"
 
+# Prometheus exposition: both nodes must render the gossip and handoff
+# cluster series (counters exist from boot, whatever their value) plus the
+# per-designer serving series on the designer's owner.
+for b in "$base0" "$base1"; do
+  metrics="$(curl -fs "${b}/metrics?format=prometheus")"
+  echo "$metrics" | grep -q '^fairrank_gossip_rounds_total' \
+    || { echo "no gossip series in ${b}/metrics?format=prometheus" >&2; exit 1; }
+  echo "$metrics" | grep -q '^fairrank_handoff_pulls_total' \
+    || { echo "no handoff series in ${b}/metrics?format=prometheus" >&2; exit 1; }
+done
+curl -fs "${base1}/metrics?format=prometheus" \
+  | grep -q '^fairrank_suggest_latency_seconds_bucket{designer="smoke-designer-0",le="+Inf"}' \
+  || { echo "owner exposes no latency histogram for smoke-designer-0" >&2; exit 1; }
+echo "== Prometheus exposition serves gossip, handoff, and latency series"
+
+# Request tracing: a client-set trace id must come back at /debug/traces.
+curl -fs -X POST "${base0}/v1/designers/smoke-designer-0/suggest" \
+  -H 'Content-Type: application/json' -H 'X-Fairrank-Trace: smoke-trace-1' \
+  -d "$query" >/dev/null
+curl -fs "${base0}/debug/traces?id=smoke-trace-1" | jq -e '.traces | length == 1' >/dev/null \
+  || { echo "trace smoke-trace-1 not recorded on node-0" >&2; exit 1; }
+echo "== request trace recorded under the caller's id"
+
 echo "== joining node-2 at runtime (:${port2})"
 "$bin" -addr "127.0.0.1:${port2}" -node-id node-2 -shards 2 \
   -join "$base0" -anti-entropy 300ms -health-interval 300ms \
@@ -110,14 +133,16 @@ pid2=$!
 wait_healthy "$base2" "$pid2" node-2
 
 # The migrated designer must arrive on node-2 by index handoff — loaded from
-# the old owner's persisted stream, never rebuilt.
+# the old owner's persisted stream, never rebuilt. The slog text format
+# escapes the quotes inside the message (msg="... designer \"id\" ...").
+handoff_line='handoff: designer \\"smoke-designer-0\\" index loaded'
 for _ in $(seq 1 100); do
-  if grep -q 'handoff: designer "smoke-designer-0" index loaded' "${workdir}/node2.log"; then break; fi
+  if grep -q "$handoff_line" "${workdir}/node2.log"; then break; fi
   sleep 0.1
 done
-grep -q 'handoff: designer "smoke-designer-0" index loaded' "${workdir}/node2.log" \
+grep -q "$handoff_line" "${workdir}/node2.log" \
   || { echo "node-2 never received the index handoff" >&2; cat "${workdir}/node2.log" >&2; exit 1; }
-if grep -q 'rebuild: designer "smoke-designer-0"' "${workdir}/node2.log"; then
+if grep -q 'rebuild: designer \\"smoke-designer-0\\"' "${workdir}/node2.log"; then
   echo "node-2 rebuilt the migrated designer instead of loading the handoff" >&2
   exit 1
 fi

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -13,9 +14,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairrank/internal/cluster"
+	"fairrank/internal/obs"
 	"fairrank/internal/service"
 )
 
@@ -51,10 +54,18 @@ type Server struct {
 	// atomic per entry (see applyEntries).
 	applyMu   sync.Mutex
 	advertise string
+	log       *slog.Logger
 	logf      func(format string, args ...any)
 
-	mux   *http.ServeMux
-	start time.Time
+	// draining flips when this node begins a POST /cluster/leave drain;
+	// /healthz then answers 503 {"status":"draining"} so load balancers and
+	// peer health probes stop sending new work while indexes hand off.
+	draining atomic.Bool
+
+	tracer  *obs.Tracer
+	mux     *http.ServeMux
+	handler http.Handler
+	start   time.Time
 
 	stopOnce sync.Once
 	stopc    chan struct{}
@@ -95,9 +106,24 @@ type ClusterConfig struct {
 	// the best-effort create fan-out).
 	AntiEntropyInterval time.Duration
 	// Logf receives cluster lifecycle events (membership changes, index
-	// handoffs, fallback rebuilds). nil discards them; cmd/fairrankd wires
-	// log.Printf so operators can observe handoff vs rebuild decisions.
+	// handoffs, fallback rebuilds) as preformatted lines. nil discards them
+	// unless Logger is set. Retained for embedders that capture log lines;
+	// new code should set Logger.
 	Logf func(format string, args ...any)
+	// Logger is the node's structured logger (lifecycle events, slow-query
+	// records). It takes precedence over Logf; when both are nil, logging is
+	// discarded. cmd/fairrankd wires obs.NewLogger so every line carries the
+	// node id.
+	Logger *slog.Logger
+	// TraceBuffer is the capacity of the in-memory ring of recent request
+	// traces served at GET /debug/traces (default 256).
+	TraceBuffer int
+	// SlowQueryThreshold enables the slow-query log for requests at least
+	// this slow; 0 disables it.
+	SlowQueryThreshold time.Duration
+	// SlowQueryEvery samples the slow-query log: log the 1st, (1+N)th,
+	// (1+2N)th... slow request. Values <= 1 log every slow request.
+	SlowQueryEvery int
 }
 
 // NewServer returns an empty single-node server. Call LoadDir to restore
@@ -138,15 +164,68 @@ func NewClusterServer(cfg ClusterConfig) (*Server, error) {
 		start:     time.Now(),
 		stopc:     make(chan struct{}),
 	}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	// Logging: one slog.Logger backs both the structured calls (s.log) and
+	// the legacy printf-style sites (s.logf). A caller-provided Logger wins;
+	// a Logf-only config keeps receiving the same preformatted lines through
+	// a bridge handler; neither configured discards.
+	switch {
+	case cfg.Logger != nil:
+		s.log = cfg.Logger
+	case cfg.Logf != nil:
+		s.log = slog.New(&logfHandler{f: cfg.Logf})
+	default:
+		s.log = slog.New(slog.DiscardHandler)
 	}
+	s.logf = func(format string, args ...any) { s.log.Info(fmt.Sprintf(format, args...)) }
+	s.tracer = obs.NewTracer(obs.Config{
+		Node:          router.NodeID(),
+		Buffer:        cfg.TraceBuffer,
+		SlowThreshold: cfg.SlowQueryThreshold,
+		SlowEvery:     cfg.SlowQueryEvery,
+		Logger:        s.log,
+	})
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.handler = s.tracer.Middleware(s.mux)
 	router.StartHealth(cfg.HealthInterval)
 	s.startAntiEntropy(cfg.AntiEntropyInterval)
 	return s, nil
 }
+
+// logfHandler adapts a printf-style sink to slog for ClusterConfig.Logf
+// compatibility: the message followed by " key=value" attribute pairs, one
+// line per record.
+type logfHandler struct {
+	f     func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+// Enabled reports that every level is logged — the Logf contract had no
+// levels.
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+// Handle formats the record onto the printf sink.
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	h.f("%s", b.String())
+	return nil
+}
+
+// WithAttrs returns a handler that prepends attrs to every record.
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logfHandler{f: h.f, attrs: append(append([]slog.Attr(nil), h.attrs...), attrs...)}
+}
+
+// WithGroup flattens groups — the printf sink has no nesting.
+func (h *logfHandler) WithGroup(string) slog.Handler { return h }
 
 // Close stops the server's background peer health and anti-entropy loops.
 // Serving state is untouched; in-flight builds finish on their own
@@ -183,7 +262,16 @@ func (e *designerEngine) Suggest(w []float64) (*service.Suggestion, error) {
 }
 
 func (e *designerEngine) SuggestBatch(ws [][]float64) []service.Result {
-	batch := e.d.SuggestBatch(ws)
+	return toServiceResults(e.d.SuggestBatch(ws))
+}
+
+// SuggestBatchCtx implements the optional service.ContextBatcher capability:
+// the designer records its planner and kernel stages on the request's trace.
+func (e *designerEngine) SuggestBatchCtx(ctx context.Context, ws [][]float64) []service.Result {
+	return toServiceResults(e.d.SuggestBatchCtx(ctx, ws))
+}
+
+func toServiceResults(batch []BatchResult) []service.Result {
 	out := make([]service.Result, len(batch))
 	for i, r := range batch {
 		if r.Err != nil {
@@ -491,11 +579,17 @@ func (s *Server) stampSpecVersion(info service.StatusInfo) service.StatusInfo {
 
 // Suggest answers one design query against a designer's serving index.
 func (s *Server) Suggest(id string, w []float64) (*Suggestion, error) {
+	return s.suggestCtx(context.Background(), id, w)
+}
+
+// suggestCtx is the HTTP path's Suggest: when ctx carries a trace recorder,
+// the cache and kernel stages land on it.
+func (s *Server) suggestCtx(ctx context.Context, id string, w []float64) (*Suggestion, error) {
 	entry, err := s.localEntry(id)
 	if err != nil {
 		return nil, err
 	}
-	res, err := entry.Suggest(w)
+	res, err := entry.SuggestCtx(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -504,11 +598,15 @@ func (s *Server) Suggest(id string, w []float64) (*Suggestion, error) {
 
 // SuggestBatch answers many queries in one call; see Designer.SuggestBatch.
 func (s *Server) SuggestBatch(id string, ws [][]float64) ([]BatchResult, error) {
+	return s.suggestBatchCtx(context.Background(), id, ws)
+}
+
+func (s *Server) suggestBatchCtx(ctx context.Context, id string, ws [][]float64) ([]BatchResult, error) {
 	entry, err := s.localEntry(id)
 	if err != nil {
 		return nil, err
 	}
-	batch, err := entry.SuggestBatch(ws)
+	batch, err := entry.SuggestBatchCtx(ctx, ws)
 	if err != nil {
 		return nil, err
 	}
