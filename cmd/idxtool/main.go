@@ -1,0 +1,115 @@
+// Command idxtool inspects and re-encodes fairrankd index files in a data
+// directory. Every index a current fairrankd writes is in the flat zero-copy
+// payload format; stores written by older builds carry the legacy gob
+// payload, which fairrankd migrates in place on its next start. idxtool does
+// the same conversion offline — or the reverse, which is how the smoke test
+// manufactures a legacy store to prove the on-start migration — and verifies
+// that the stream still loads and answers against its dataset and oracle.
+//
+// Usage:
+//
+//	idxtool -data DIR -id DESIGNER            # inspect: format, size, loads?
+//	idxtool -data DIR -id DESIGNER -to flat   # rewrite with the flat payload
+//	idxtool -data DIR -id DESIGNER -to legacy # rewrite with the gob payload
+//
+// The designer's manifest (<id>.designer.json) and its dataset
+// (<dataset>.dataset.json) must be present in the data directory: the stream
+// is always decoded against them before anything is rewritten, so a corrupt
+// or mismatched index can never be silently re-encoded.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fairrank"
+)
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return nil
+}
+
+func main() {
+	dataDir := flag.String("data", "", "fairrankd data directory")
+	id := flag.String("id", "", "designer id (the <id>.index file to operate on)")
+	to := flag.String("to", "", `re-encode the index payload: "flat" or "legacy" (default: inspect only)`)
+	flag.Parse()
+	if *dataDir == "" || *id == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *to != "" && *to != "flat" && *to != "legacy" {
+		log.Fatalf("-to must be \"flat\" or \"legacy\", got %q", *to)
+	}
+
+	var spec fairrank.DesignerSpec
+	if err := readJSON(filepath.Join(*dataDir, *id+".designer.json"), &spec); err != nil {
+		log.Fatal(err)
+	}
+	var dsSpec fairrank.DatasetSpec
+	if err := readJSON(filepath.Join(*dataDir, spec.Dataset+".dataset.json"), &dsSpec); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dsSpec.Build()
+	if err != nil {
+		log.Fatalf("dataset %q: %v", spec.Dataset, err)
+	}
+	oracle, err := spec.Oracle.Build(ds)
+	if err != nil {
+		log.Fatalf("oracle: %v", err)
+	}
+
+	path := filepath.Join(*dataDir, *id+".index")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	format := "flat"
+	if fairrank.IsLegacyIndexStream(raw) {
+		format = "legacy"
+	}
+	d, err := fairrank.LoadDesigner(bytes.NewReader(raw), ds, oracle)
+	if err != nil {
+		log.Fatalf("%s: %s stream, %d bytes: does not load: %v", path, format, len(raw), err)
+	}
+	fmt.Printf("%s: %s stream, %d bytes, loads OK (satisfiable=%v)\n",
+		path, format, len(raw), d.Satisfiable())
+	if *to == "" || *to == format {
+		return
+	}
+
+	var out bytes.Buffer
+	save := d.SaveIndex
+	if *to == "legacy" {
+		save = d.SaveIndexLegacy
+	}
+	if err := save(&out); err != nil {
+		log.Fatalf("re-encoding as %s: %v", *to, err)
+	}
+	// Decode what we are about to write — a stream idxtool produced must
+	// always load back.
+	if _, err := fairrank.LoadDesigner(bytes.NewReader(out.Bytes()), ds, oracle); err != nil {
+		log.Fatalf("re-encoded %s stream does not load back: %v", *to, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: rewritten as %s stream, %d bytes\n", path, *to, out.Len())
+}

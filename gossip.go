@@ -1,6 +1,7 @@
 package fairrank
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"fairrank/internal/cluster"
+	"fairrank/internal/flatidx"
 	"fairrank/internal/obs"
 	"fairrank/internal/service"
 )
@@ -80,6 +82,17 @@ func (s *Server) gossipOnce(interval time.Duration) {
 		stats.GossipNs.Add(time.Since(begin).Nanoseconds())
 		cancel()
 	}
+	// Tombstone GC: drop every tombstone all other members have acked.
+	var peers []string
+	self := s.router.NodeID()
+	for _, m := range s.router.Members() {
+		if m.ID != self {
+			peers = append(peers, m.ID)
+		}
+	}
+	if n := s.meta.CompactTombstones(peers); n > 0 {
+		s.logf("cluster: compacted %d tombstone(s) acked by all %d peer(s)", n, len(peers))
+	}
 	s.reconcile()
 }
 
@@ -87,7 +100,8 @@ func (s *Server) gossipOnce(interval time.Duration) {
 // the peer holds newer, push back the entries it asked for. Transport
 // failures mark the peer unhealthy (the health probe brings it back).
 func (s *Server) exchangeWith(ctx context.Context, p *cluster.Peer) error {
-	resp, err := p.ExchangeDigest(ctx, s.router.NodeID(), s.meta.Digest())
+	sent := s.meta.Digest()
+	resp, err := p.ExchangeDigest(ctx, s.router.NodeID(), sent)
 	if err != nil {
 		var se *cluster.StatusError
 		if !errors.As(err, &se) {
@@ -95,6 +109,9 @@ func (s *Server) exchangeWith(ctx context.Context, p *cluster.Peer) error {
 		}
 		return err
 	}
+	// A tombstone the peer neither updated nor wanted back is held
+	// identically over there — a quiet acknowledgement toward its GC.
+	s.meta.ObserveExchange(p.Member().ID, sent, resp)
 	s.router.Stats().EntriesPulled.Add(int64(s.applyEntries(resp.Updates)))
 	if len(resp.Wants) > 0 {
 		entries := s.meta.Entries(resp.Wants)
@@ -124,12 +141,16 @@ func (s *Server) applyEntries(entries []cluster.MetaEntry) int {
 	defer s.applyMu.Unlock()
 	applied := 0
 	for _, e := range sorted {
-		if !s.meta.Apply(e) {
+		stored, changed := s.meta.Apply(e)
+		if !changed {
 			continue
 		}
 		applied++
-		if err := s.materialize(e); err != nil {
-			s.logf("cluster: materializing %s v%d: %v", e.Key, e.Version, err)
+		// Materialize what the store now holds — for the membership key that
+		// can be the union merge of both sides of a join race, not the entry
+		// that arrived.
+		if err := s.materialize(stored); err != nil {
+			s.logf("cluster: materializing %s v%d: %v", stored.Key, stored.Version, err)
 		}
 	}
 	return applied
@@ -346,7 +367,7 @@ func (s *Server) tryHandoff(id string, spec DesignerSpec, build service.BuildFun
 	ctx, cancel := context.WithTimeout(obs.NewContext(context.Background(), rec), 2*time.Minute)
 	defer cancel()
 	sp := rec.Start("fetch")
-	rc, err := src.FetchIndex(ctx, s.router.NodeID(), id)
+	buf, err := s.fetchIndexResumable(ctx, src, id)
 	if err != nil {
 		sp.EndNote("failed peer=" + src.Member().ID)
 		stats.HandoffFailures.Add(1)
@@ -356,19 +377,17 @@ func (s *Server) tryHandoff(id string, spec DesignerSpec, build service.BuildFun
 		}
 		return false
 	}
-	cr := &obs.CountingReader{R: rc}
+	stats.HandoffBytesIn.Add(int64(len(buf)))
 	sp.EndNote("peer=" + src.Member().ID)
 	sp = rec.Start("load")
-	d, err := s.loadDesignerStream(cr, spec)
-	rc.Close()
-	stats.HandoffBytesIn.Add(cr.N())
+	d, err := s.loadDesignerStream(bytes.NewReader(buf), spec)
 	if err != nil {
 		sp.EndNote("failed")
 		stats.HandoffFailures.Add(1)
 		s.logf("cluster: handoff of %q from %s failed to load: %v", id, src.Member().ID, err)
 		return false
 	}
-	sp.EndNote(fmt.Sprintf("bytes=%d", cr.N()))
+	sp.EndNote(fmt.Sprintf("bytes=%d", len(buf)))
 	sp = rec.Start("activate")
 	_, cerr := s.shard(id).CreateReady(id, &designerEngine{d: d}, build)
 	sp.End()
@@ -381,6 +400,43 @@ func (s *Server) tryHandoff(id string, spec DesignerSpec, build service.BuildFun
 	}
 	s.logf("cluster: handoff: designer %q index loaded from %s (no rebuild)", id, src.Member().ID)
 	return true
+}
+
+// fetchIndexResumable pulls designer id's full index stream from src,
+// resuming — not restarting — after a mid-stream break. On a broken read it
+// keeps the universal header plus the longest payload prefix ending at a
+// flat-format section boundary (flatidx.CompletePrefix) and refetches only
+// the rest via the peer's ?offset= parameter; serialization is
+// deterministic, so the stitched stream is byte-identical to an unbroken
+// one and every retained section's checksum has already been, or will be,
+// verified by the loader. Gives up after three broken streams.
+func (s *Server) fetchIndexResumable(ctx context.Context, src *cluster.Peer, id string) ([]byte, error) {
+	const maxStreams = 3
+	var buf []byte
+	for attempt := 0; ; attempt++ {
+		rc, err := src.FetchIndex(ctx, s.router.NodeID(), id, int64(len(buf)))
+		if err != nil {
+			// Connection refused, 404, and friends: resume cannot help.
+			return nil, err
+		}
+		rest, rerr := io.ReadAll(rc)
+		rc.Close()
+		buf = append(buf, rest...)
+		if rerr == nil {
+			return buf, nil
+		}
+		if attempt+1 >= maxStreams {
+			return nil, fmt.Errorf("handoff stream broke %d times: %w", maxStreams, rerr)
+		}
+		keep := 0
+		if len(buf) > indexStreamHeaderLen {
+			keep = indexStreamHeaderLen + flatidx.CompletePrefix(buf[indexStreamHeaderLen:])
+		}
+		buf = buf[:keep]
+		s.router.Stats().HandoffResumes.Add(1)
+		s.logf("cluster: handoff of %q from %s interrupted (%v); resuming at byte %d",
+			id, src.Member().ID, rerr, keep)
+	}
 }
 
 // loadDesignerStream reconstructs a designer from a persisted index stream

@@ -514,7 +514,7 @@ func TestMetaVersionsSurviveRestart(t *testing.T) {
 		t.Fatalf("tombstone not restored after restart: %+v (ok=%v)", e, ok)
 	}
 	// The stale live copy must lose against the restored tombstone.
-	if srv2.meta.Apply(stale) {
+	if _, changed := srv2.meta.Apply(stale); changed {
 		t.Fatal("restart reset the version vector: a stale peer copy resurrected the designer")
 	}
 	// A deliberate re-create supersedes the tombstone and serves again.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -611,6 +612,9 @@ func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &d) {
 		return
 	}
+	// The caller's digest doubles as tombstone acknowledgement: every local
+	// tombstone it lists at the same version is replicated over there.
+	s.meta.ObserveDigest(r.Header.Get(cluster.ForwardHeader), d)
 	writeJSON(w, http.StatusOK, s.meta.Diff(d))
 }
 
@@ -630,8 +634,11 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 
 // handleHandoffGet streams the persisted index of a locally served designer
 // (universal header + engine payload, exactly the SaveIndex bytes) to a
-// member that now owns it. 404 — no entry here, or still building — tells
-// the caller to fall back to rebuilding.
+// member that now owns it. ?offset=N skips the first N stream bytes —
+// the resume leg of a broken pull; serialization is deterministic, so the
+// skipped prefix is byte-identical to what the puller already holds. 404 —
+// no entry here, or still building — tells the caller to fall back to
+// rebuilding.
 func (s *Server) handleHandoffGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	entry, ok := s.shard(id).Get(id)
@@ -644,15 +651,47 @@ func (s *Server) handleHandoffGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("designer %q has no servable index here: %w", id, err))
 		return
 	}
+	var offset int64
+	if q := r.URL.Query().Get("offset"); q != "" {
+		offset, err = strconv.ParseInt(q, 10, 64)
+		if err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", q))
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	cw := &obs.CountingWriter{W: w}
-	err = eng.SaveIndex(cw)
+	err = eng.SaveIndex(&skipWriter{w: cw, skip: offset})
 	s.router.Stats().HandoffBytesOut.Add(cw.N())
 	if err != nil {
 		// Headers are gone; the truncated stream fails the loader's header
 		// or payload decode and the puller falls back to rebuilding.
 		s.logf("cluster: handoff stream of %q failed: %v", id, err)
 	}
+}
+
+// skipWriter discards the first skip bytes written through it and passes the
+// rest along — how the handoff endpoint serves a stream suffix without the
+// engines knowing about offsets.
+type skipWriter struct {
+	w    io.Writer
+	skip int64
+}
+
+func (sw *skipWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if sw.skip > 0 {
+		if int64(n) <= sw.skip {
+			sw.skip -= int64(n)
+			return n, nil
+		}
+		p = p[sw.skip:]
+		sw.skip = 0
+	}
+	if _, err := sw.w.Write(p); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // handleHandoffPut receives a pushed index stream (a draining node handing

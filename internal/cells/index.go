@@ -6,14 +6,140 @@ import (
 	"io"
 
 	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
 	"fairrank/internal/fairness"
+	"fairrank/internal/flatidx"
+	"fairrank/internal/geom"
 )
 
-// indexFile is the on-disk representation of a preprocessed grid index.
-// The partitioning itself is deterministic in (D, N), so only the per-cell
-// assignments need to be stored; LoadIndex re-derives the grid and checks
-// the cell count as a consistency guard.
-type indexFile struct {
+// Flat payload sections of a grid index. The partitioning is deterministic
+// in (D, N), so only the per-cell assignments are stored: a one-byte state
+// per cell and a packed float64 slab holding the assigned functions of the
+// cells that have one. Loading re-derives the grid and slices functions out
+// of the slab — no per-cell decode.
+const (
+	secMeta     uint32 = 1 // int64: D, N, NumCells, function length (D−1)
+	secCellBits uint32 = 2 // uint8 per cell: bit 0 = has function, bit 1 = marked
+	secFVals    uint32 = 3 // float64: assigned functions, D−1 values per assigned cell
+)
+
+const (
+	cellHasF   = 1 << 0
+	cellMarked = 1 << 1
+)
+
+// WriteIndex serializes the preprocessed index (grid shape plus per-cell
+// satisfactory functions) in the flat columnar format so the offline phase
+// can be paid once and reused across processes — the paper's "creating
+// proper indexes in an offline manner enables efficient answering of the
+// users' queries".
+func (a *Approx) WriteIndex(w io.Writer) error {
+	flen := a.DS.D() - 1
+	bits := make([]uint8, a.Grid.NumCells())
+	var fvals []float64
+	for i, c := range a.Grid.Cells {
+		if c.F != nil {
+			if len(c.F) != flen {
+				return fmt.Errorf("cells: cell %d function has %d angles, want %d", i, len(c.F), flen)
+			}
+			bits[i] |= cellHasF
+			fvals = append(fvals, c.F...)
+		}
+		if c.Marked {
+			bits[i] |= cellMarked
+		}
+	}
+	fw := flatidx.NewWriter(flatidx.KindApprox)
+	fw.Int64s(secMeta, []int64{int64(a.DS.D()), int64(a.Grid.N), int64(a.Grid.NumCells()), int64(flen)})
+	fw.Uint8s(secCellBits, bits)
+	fw.Float64s(secFVals, fvals)
+	return fw.Flush(w)
+}
+
+// LoadIndex reconstructs a queryable index from WriteIndex output (the flat
+// format). The dataset and oracle must be the ones the index was built for
+// (Query validates the query against the oracle directly; a mismatched
+// dataset gives garbage answers, and a changed dataset should be
+// re-validated as §1 of the paper discusses). The assigned functions alias
+// the decoded payload blob; the per-cell work is one byte test and one
+// three-index slice expression.
+func LoadIndex(r io.Reader, ds *dataset.Dataset, oracle fairness.Oracle) (*Approx, error) {
+	fr, err := flatidx.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %w", err)
+	}
+	if fr.EngineKind() != flatidx.KindApprox {
+		return nil, flatidx.Corruptf("cells: payload is for engine kind %d", fr.EngineKind())
+	}
+	meta, err := fr.Int64s(secMeta)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %w", err)
+	}
+	if len(meta) != 4 {
+		return nil, flatidx.Corruptf("cells: meta section has %d values, want 4", len(meta))
+	}
+	d, n, numCells, flen := int(meta[0]), int(meta[1]), int(meta[2]), int(meta[3])
+	if d != ds.D() {
+		return nil, fmt.Errorf("cells: index built for d=%d, dataset has d=%d", d, ds.D())
+	}
+	if flen != d-1 {
+		return nil, flatidx.Corruptf("cells: function length %d, want %d", flen, d-1)
+	}
+	bits, err := fr.Uint8s(secCellBits)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %w", err)
+	}
+	fvals, err := fr.Float64s(secFVals)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %w", err)
+	}
+	if len(bits) != numCells {
+		return nil, flatidx.Corruptf("cells: %d cell states for %d cells", len(bits), numCells)
+	}
+	withF := 0
+	for i, b := range bits {
+		if b&^uint8(cellHasF|cellMarked) != 0 {
+			return nil, flatidx.Corruptf("cells: cell %d has state byte %#x", i, b)
+		}
+		if b&cellHasF != 0 {
+			withF++
+		}
+	}
+	if len(fvals) != withF*flen {
+		return nil, flatidx.Corruptf("cells: function slab has %d values, %d assigned cells need %d",
+			len(fvals), withF, withF*flen)
+	}
+
+	grid, err := NewGrid(d, n)
+	if err != nil {
+		return nil, err
+	}
+	if grid.NumCells() != numCells {
+		return nil, fmt.Errorf("cells: index has %d cells, partitioning produced %d (incompatible build?)",
+			numCells, grid.NumCells())
+	}
+	marked, off := 0, 0
+	for i, c := range grid.Cells {
+		if bits[i]&cellHasF != 0 {
+			c.F = geom.Angles(fvals[off : off+flen : off+flen])
+			off += flen
+		}
+		if bits[i]&cellMarked != 0 {
+			c.Marked = true
+			marked++
+		}
+	}
+	return &Approx{
+		Grid:      grid,
+		DS:        ds,
+		Oracle:    oracle,
+		MarkStats: MarkStats{Marked: marked},
+	}, nil
+}
+
+// gobIndexFile is the legacy PR-2 gob representation, kept so existing
+// stores load (and migrate) instead of rebuilding.
+type gobIndexFile struct {
 	FormatVersion int
 	D, N          int
 	NumCells      int
@@ -21,17 +147,16 @@ type indexFile struct {
 	Marked        []bool
 }
 
-// indexFormatVersion guards against loading indexes written by an
+// gobFormatVersion guards against loading legacy grid indexes written by an
 // incompatible build.
-const indexFormatVersion = 1
+const gobFormatVersion = 1
 
-// WriteIndex serializes the preprocessed index (grid shape plus per-cell
-// satisfactory functions) so the offline phase can be paid once and reused
-// across processes — the paper's "creating proper indexes in an offline
-// manner enables efficient answering of the users' queries".
-func (a *Approx) WriteIndex(w io.Writer) error {
-	file := indexFile{
-		FormatVersion: indexFormatVersion,
+// WriteIndexGob writes the legacy gob payload. The serving stack never
+// calls it — migration tests and the load benchmarks use it to manufacture
+// PR-2-era streams.
+func (a *Approx) WriteIndexGob(w io.Writer) error {
+	file := gobIndexFile{
+		FormatVersion: gobFormatVersion,
 		D:             a.DS.D(),
 		N:             a.Grid.N,
 		NumCells:      a.Grid.NumCells(),
@@ -47,18 +172,14 @@ func (a *Approx) WriteIndex(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&file)
 }
 
-// LoadIndex reconstructs a queryable index from WriteIndex output. The
-// dataset and oracle must be the ones the index was built for (Query
-// validates the query against the oracle directly; a mismatched dataset
-// gives garbage answers, and a changed dataset should be re-validated as
-// §1 of the paper discusses).
-func LoadIndex(r io.Reader, ds *dataset.Dataset, oracle fairness.Oracle) (*Approx, error) {
-	var file indexFile
+// LoadIndexGob reconstructs a grid index from a legacy gob payload.
+func LoadIndexGob(r io.Reader, ds *dataset.Dataset, oracle fairness.Oracle) (*Approx, error) {
+	var file gobIndexFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
 		return nil, fmt.Errorf("cells: decoding index: %w", err)
 	}
-	if file.FormatVersion != indexFormatVersion {
-		return nil, fmt.Errorf("cells: index format %d, want %d", file.FormatVersion, indexFormatVersion)
+	if file.FormatVersion != gobFormatVersion {
+		return nil, fmt.Errorf("cells: index format %d, want %d", file.FormatVersion, gobFormatVersion)
 	}
 	if file.D != ds.D() {
 		return nil, fmt.Errorf("cells: index built for d=%d, dataset has d=%d", file.D, ds.D())
@@ -70,6 +191,10 @@ func LoadIndex(r io.Reader, ds *dataset.Dataset, oracle fairness.Oracle) (*Appro
 	if grid.NumCells() != file.NumCells {
 		return nil, fmt.Errorf("cells: index has %d cells, partitioning produced %d (incompatible build?)",
 			file.NumCells, grid.NumCells())
+	}
+	if len(file.F) != file.NumCells || len(file.Marked) != file.NumCells {
+		return nil, fmt.Errorf("cells: index has %d/%d cell entries for %d cells",
+			len(file.F), len(file.Marked), file.NumCells)
 	}
 	marked := 0
 	for i, c := range grid.Cells {
@@ -87,4 +212,26 @@ func LoadIndex(r io.Reader, ds *dataset.Dataset, oracle fairness.Oracle) (*Appro
 		Oracle:    oracle,
 		MarkStats: MarkStats{Marked: marked},
 	}, nil
+}
+
+// Codec is the grid engine's persistence codec (engine.Codec). The refine
+// option selects the neighbor-considering query variant, matching the
+// refine-queries flag bit of the universal header.
+type Codec struct{}
+
+// Decode implements engine.Codec.
+func (Codec) Decode(r io.Reader, format engine.PayloadFormat, ds *dataset.Dataset, oracle fairness.Oracle, opts engine.DecodeOpts) (engine.Engine, error) {
+	var (
+		a   *Approx
+		err error
+	)
+	if format == engine.PayloadFlat {
+		a, err = LoadIndex(r, ds, oracle)
+	} else {
+		a, err = LoadIndexGob(r, ds, oracle)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(a, opts.Refine), nil
 }

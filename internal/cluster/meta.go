@@ -94,12 +94,35 @@ type DigestResponse struct {
 // are safe for concurrent use. The store holds bytes only; materializing an
 // applied entry (building a dataset, storing a designer spec, moving the
 // ring) is the owner's job, keyed off Apply's report of what changed.
+//
+// Tombstones are garbage-collected, not kept forever: every digest exchange
+// doubles as an acknowledgement protocol (ObserveDigest on the receiving
+// side, ObserveExchange on the initiating side), and once every other
+// member has acked a tombstone at its current version, CompactTombstones
+// drops the entry and records its version in a forgotten floor. The floor
+// is what keeps the GC safe — a peer that has not compacted yet and pushes
+// the tombstone (or any older live version of the key) back is rejected
+// below the floor, so a collected delete can never resurrect.
 type MetaStore struct {
 	mu      sync.RWMutex
 	entries map[string]MetaEntry
 
+	// acks tracks, per live tombstone, which peers are known to hold it at
+	// its current version; invalidated whenever the entry changes.
+	acks map[string]*tombAck
+	// forgotten is the version floor of collected tombstones: entries of
+	// the key at or below the floor are stale and rejected.
+	forgotten map[string]uint64
+
 	applied  atomic.Int64 // remote entries Apply accepted
 	rejected atomic.Int64 // remote entries Apply dropped as stale/duplicate
+	gced     atomic.Int64 // tombstones CompactTombstones has dropped
+}
+
+// tombAck is the ack set of one tombstone at one version.
+type tombAck struct {
+	version uint64
+	peers   map[string]bool
 }
 
 // ApplyCounts reports how many remotely produced entries Apply accepted
@@ -111,7 +134,23 @@ func (s *MetaStore) ApplyCounts() (applied, rejected int64) {
 
 // NewMetaStore returns an empty store.
 func NewMetaStore() *MetaStore {
-	return &MetaStore{entries: make(map[string]MetaEntry)}
+	return &MetaStore{
+		entries:   make(map[string]MetaEntry),
+		acks:      make(map[string]*tombAck),
+		forgotten: make(map[string]uint64),
+	}
+}
+
+// nextVersion (callers hold mu) picks the version of a new local write of
+// key: past everything this replica has seen for it, including the
+// forgotten floor of a collected tombstone — a resurrection must supersede
+// the tombstone even on replicas that still hold it.
+func (s *MetaStore) nextVersion(key string) uint64 {
+	v := s.entries[key].Version
+	if f := s.forgotten[key]; f > v {
+		v = f
+	}
+	return v + 1
 }
 
 // Put records a local write of key, bumping its version past everything this
@@ -120,19 +159,24 @@ func NewMetaStore() *MetaStore {
 func (s *MetaStore) Put(key string, payload []byte) MetaEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e := MetaEntry{Key: key, Version: s.entries[key].Version + 1, Payload: append([]byte(nil), payload...)}
+	e := MetaEntry{Key: key, Version: s.nextVersion(key), Payload: append([]byte(nil), payload...)}
 	s.entries[key] = e
+	delete(s.acks, key)
+	delete(s.forgotten, key)
 	return e
 }
 
-// Delete records a local tombstone for key. The tombstone is kept (and
-// gossiped) forever: it is what stops a stale replica from resurrecting the
-// entry during a later exchange.
+// Delete records a local tombstone for key. The tombstone is gossiped until
+// every other member has acknowledged it (see CompactTombstones): that is
+// what stops a stale replica from resurrecting the entry during a later
+// exchange.
 func (s *MetaStore) Delete(key string) MetaEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e := MetaEntry{Key: key, Version: s.entries[key].Version + 1, Deleted: true}
+	e := MetaEntry{Key: key, Version: s.nextVersion(key), Deleted: true}
 	s.entries[key] = e
+	delete(s.acks, key)
+	delete(s.forgotten, key)
 	return e
 }
 
@@ -144,27 +188,87 @@ func (s *MetaStore) Get(key string) (MetaEntry, bool) {
 	return e, ok
 }
 
-// Apply merges a remotely produced entry, returning true when it replaced
-// (or created) the local copy — the caller then materializes the change.
-// Applying an entry that lost the supersedes tie-break, or re-applying one
-// already held, is a no-op: idempotent re-apply is the convergence
-// guarantee.
-func (s *MetaStore) Apply(e MetaEntry) bool {
+// Apply merges a remotely produced entry, returning the entry now stored
+// and whether local state changed — the caller then materializes the
+// STORED entry (for the membership key it can be a merge of both sides,
+// not the entry that arrived). Applying an entry that lost the supersedes
+// tie-break, or re-applying one already held, is a no-op: idempotent
+// re-apply is the convergence guarantee.
+//
+// The membership key gets special conflict handling: two nodes that each
+// originated version v concurrently (the classic simultaneous-join race)
+// hold different member sets that are both real — last-writer-wins would
+// silently drop one joiner until a later membership change. Equal-version
+// live membership entries therefore merge by deterministic member-set
+// union, which is commutative, associative, and idempotent, so every
+// replica settles on the same set no matter the exchange order.
+func (s *MetaStore) Apply(e MetaEntry) (MetaEntry, bool) {
 	if e.Key == "" {
 		s.rejected.Add(1)
-		return false
+		return MetaEntry{}, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if f, ok := s.forgotten[e.Key]; ok && e.Version <= f {
+		// At or below the floor of a collected tombstone: the delete already
+		// won; resurrect only for genuinely newer writes.
+		s.rejected.Add(1)
+		return MetaEntry{}, false
+	}
 	local, ok := s.entries[e.Key]
+	if ok && e.Key == RingKey && e.Version == local.Version &&
+		!e.Deleted && !local.Deleted && !bytes.Equal(e.Payload, local.Payload) {
+		if merged, err := mergeMembership(local.Payload, e.Payload); err == nil {
+			if bytes.Equal(merged, local.Payload) {
+				s.rejected.Add(1)
+				return local, false
+			}
+			me := MetaEntry{Key: e.Key, Version: e.Version, Payload: merged}
+			s.entries[e.Key] = me
+			s.applied.Add(1)
+			return me, true
+		}
+		// Unparseable membership payload: fall back to the byte tie-break.
+	}
 	if ok && !supersedes(e, local) {
 		s.rejected.Add(1)
-		return false
+		return local, false
 	}
 	e.Payload = append([]byte(nil), e.Payload...)
 	s.entries[e.Key] = e
+	delete(s.acks, e.Key)
+	delete(s.forgotten, e.Key)
 	s.applied.Add(1)
-	return true
+	return e, true
+}
+
+// mergeMembership unions two Membership payloads deterministically: members
+// by ID, a duplicate ID resolved to the lexicographically larger URL, the
+// result sorted by ID. Both replicas of a conflict compute the identical
+// payload bytes, so the merged entries also digest identically.
+func mergeMembership(a, b []byte) ([]byte, error) {
+	var ma, mb Membership
+	if err := json.Unmarshal(a, &ma); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, &mb); err != nil {
+		return nil, err
+	}
+	byID := make(map[string]Member, len(ma.Members)+len(mb.Members))
+	for _, list := range [][]Member{ma.Members, mb.Members} {
+		for _, m := range list {
+			if prev, dup := byID[m.ID]; dup && prev.URL >= m.URL {
+				continue
+			}
+			byID[m.ID] = m
+		}
+	}
+	merged := make([]Member, 0, len(byID))
+	for _, m := range byID {
+		merged = append(merged, m)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	return json.Marshal(Membership{Members: merged})
 }
 
 // Restore re-establishes a persisted version floor for key after a process
@@ -264,10 +368,134 @@ func (s *MetaStore) Diff(remote Digest) DigestResponse {
 	for k, r := range remote {
 		local, ok := s.entries[k]
 		if !ok || r.Version > local.Version {
+			// Never re-pull a tombstone this replica already collected: the
+			// peer's copy is the one waiting to be collected over there.
+			if f, gone := s.forgotten[k]; gone && r.Version <= f {
+				continue
+			}
 			resp.Wants = append(resp.Wants, k)
 		}
 	}
 	sort.Slice(resp.Updates, func(i, j int) bool { return resp.Updates[i].Key < resp.Updates[j].Key })
 	sort.Strings(resp.Wants)
 	return resp
+}
+
+// ack (callers hold mu) records that peer holds key's tombstone at version.
+// A stale ack set from a previous version of the entry is discarded.
+func (s *MetaStore) ack(key string, version uint64, peer string) {
+	a := s.acks[key]
+	if a == nil || a.version != version {
+		a = &tombAck{version: version, peers: make(map[string]bool)}
+		s.acks[key] = a
+	}
+	a.peers[peer] = true
+}
+
+// ObserveDigest mines an incoming digest (the receiving side of an
+// anti-entropy exchange) for tombstone acknowledgements: every local
+// tombstone the caller's digest lists at the same version is known to be
+// held by that peer. from is the exchanging peer's node ID; an empty ID
+// (an unattributed exchange) acks nothing.
+func (s *MetaStore) ObserveDigest(from string, remote Digest) {
+	if from == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, r := range remote {
+		local, ok := s.entries[k]
+		if ok && local.Deleted && r.Deleted && r.Version == local.Version {
+			s.ack(k, local.Version, from)
+		}
+	}
+}
+
+// ObserveExchange mines a completed outgoing exchange (the initiating side)
+// for quiet acknowledgements: a tombstone listed in the digest this node
+// sent that the peer neither updated nor wanted back was held identically
+// by the peer. Only keys present in the digest actually sent are acked —
+// a tombstone created mid-exchange says nothing about the peer.
+func (s *MetaStore) ObserveExchange(peer string, sent Digest, resp DigestResponse) {
+	if peer == "" {
+		return
+	}
+	touched := make(map[string]bool, len(resp.Updates)+len(resp.Wants))
+	for _, e := range resp.Updates {
+		touched[e.Key] = true
+	}
+	for _, k := range resp.Wants {
+		touched[k] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range sent {
+		if !v.Deleted || touched[k] {
+			continue
+		}
+		local, ok := s.entries[k]
+		if ok && local.Deleted && local.Version == v.Version {
+			s.ack(k, local.Version, peer)
+		}
+	}
+}
+
+// CompactTombstones drops every tombstone that all the given peers (the
+// other ring members) have acknowledged at its current version, recording
+// each dropped version in the forgotten floor so late re-deliveries cannot
+// resurrect the key. Returns how many tombstones were collected. The
+// membership key is never collected — it is never tombstoned in practice,
+// and its history is what the ring converges on.
+func (s *MetaStore) CompactTombstones(peers []string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, e := range s.entries {
+		if !e.Deleted || k == RingKey {
+			continue
+		}
+		a := s.acks[k]
+		if a == nil || a.version != e.Version {
+			if len(peers) > 0 {
+				continue
+			}
+			// A single-node ring has nobody to wait for.
+		}
+		acked := true
+		for _, p := range peers {
+			if a == nil || !a.peers[p] {
+				acked = false
+				break
+			}
+		}
+		if !acked {
+			continue
+		}
+		delete(s.entries, k)
+		delete(s.acks, k)
+		s.forgotten[k] = e.Version
+		n++
+	}
+	s.gced.Add(int64(n))
+	return n
+}
+
+// TombstoneCount returns how many live tombstones the store holds — the
+// meta_tombstones gauge on /metrics.
+func (s *MetaStore) TombstoneCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range s.entries {
+		if e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// TombstonesGCed returns how many tombstones CompactTombstones has dropped
+// over the store's lifetime.
+func (s *MetaStore) TombstonesGCed() int64 {
+	return s.gced.Load()
 }

@@ -43,13 +43,13 @@ func TestMetaStoreApplyIsIdempotentAndOrdered(t *testing.T) {
 	s := NewMetaStore()
 	newer := MetaEntry{Key: "k", Version: 3, Payload: []byte("new")}
 	older := MetaEntry{Key: "k", Version: 2, Payload: []byte("old")}
-	if !s.Apply(newer) {
+	if _, changed := s.Apply(newer); !changed {
 		t.Fatal("first apply must change state")
 	}
-	if s.Apply(newer) {
+	if _, changed := s.Apply(newer); changed {
 		t.Fatal("re-applying the same entry must be a no-op")
 	}
-	if s.Apply(older) {
+	if _, changed := s.Apply(older); changed {
 		t.Fatal("applying an older version must be a no-op")
 	}
 	got, _ := s.Get("k")
@@ -133,4 +133,182 @@ func TestMetaStoreExchangeConverges(t *testing.T) {
 func dump(s *MetaStore) string {
 	out, _ := json.Marshal(s.Snapshot())
 	return string(out)
+}
+
+// Tombstone GC: once every other member has acknowledged a tombstone (here
+// via the receiving-side digest observation), it compacts away — and the
+// forgotten floor keeps both the tombstone and any older live copy from
+// ever coming back.
+func TestMetaStoreTombstoneGC(t *testing.T) {
+	a, b := NewMetaStore(), NewMetaStore()
+	live := a.Put("designer/x", []byte(`{"spec":true}`))
+	b.Apply(live)
+	tomb := a.Delete("designer/x")
+	b.Apply(tomb)
+
+	// Before any acknowledgement nothing may compact.
+	if n := a.CompactTombstones([]string{"node-b"}); n != 0 {
+		t.Fatalf("compacted %d tombstones without acks", n)
+	}
+	a.ObserveDigest("node-b", b.Digest())
+	if n := a.CompactTombstones([]string{"node-b"}); n != 1 {
+		t.Fatalf("compacted %d tombstones after full ack, want 1", n)
+	}
+	if a.TombstoneCount() != 0 || a.TombstonesGCed() != 1 {
+		t.Fatalf("tombstones=%d gced=%d after compaction", a.TombstoneCount(), a.TombstonesGCed())
+	}
+	if _, ok := a.Get("designer/x"); ok {
+		t.Fatal("compacted tombstone still stored")
+	}
+
+	// A late re-delivery of the collected tombstone, or of the even older
+	// live copy, must be rejected below the forgotten floor.
+	if _, changed := a.Apply(tomb); changed {
+		t.Fatal("collected tombstone re-applied")
+	}
+	if _, changed := a.Apply(live); changed {
+		t.Fatal("pre-delete live copy resurrected a collected key")
+	}
+	// Nor may a want the key back from a peer still holding the tombstone.
+	resp := a.Diff(b.Digest())
+	for _, k := range resp.Wants {
+		if k == "designer/x" {
+			t.Fatal("a wants back a tombstone it already collected")
+		}
+	}
+
+	// A deliberate re-create starts above the floor, superseding the
+	// tombstone even on replicas that still hold it.
+	e := a.Put("designer/x", []byte(`{"spec":2}`))
+	if e.Version <= tomb.Version {
+		t.Fatalf("resurrection version %d not above collected tombstone %d", e.Version, tomb.Version)
+	}
+	if _, changed := b.Apply(e); !changed {
+		t.Fatal("resurrection lost against the tombstone on a non-compacted replica")
+	}
+}
+
+// The initiating side of an exchange acks quietly: a tombstone in the sent
+// digest the peer neither updated nor wanted back is held identically.
+func TestMetaStoreQuietAckGC(t *testing.T) {
+	a, b := NewMetaStore(), NewMetaStore()
+	tomb := a.Delete("designer/x")
+
+	// b has never heard of the key: its Diff wants it, so no quiet ack yet.
+	sent := a.Digest()
+	resp := b.Diff(sent)
+	a.ObserveExchange("node-b", sent, resp)
+	if n := a.CompactTombstones([]string{"node-b"}); n != 0 {
+		t.Fatalf("compacted %d tombstones while b never held it", n)
+	}
+
+	// After b applied it, the next exchange is quiet on that key.
+	b.Apply(tomb)
+	sent = a.Digest()
+	resp = b.Diff(sent)
+	a.ObserveExchange("node-b", sent, resp)
+	if n := a.CompactTombstones([]string{"node-b"}); n != 1 {
+		t.Fatalf("compacted %d tombstones after quiet ack, want 1", n)
+	}
+}
+
+// An ack at an old version must not carry over to a newer tombstone of the
+// same key (delete → re-create → delete again).
+func TestMetaStoreStaleAckDoesNotCompactNewerTombstone(t *testing.T) {
+	a, b := NewMetaStore(), NewMetaStore()
+	tomb1 := a.Delete("designer/x")
+	b.Apply(tomb1)
+	a.ObserveDigest("node-b", b.Digest())
+	a.Put("designer/x", []byte("back"))
+	a.Delete("designer/x") // v3, which b has not seen
+	if n := a.CompactTombstones([]string{"node-b"}); n != 0 {
+		t.Fatalf("compacted %d tombstones on a stale ack", n)
+	}
+}
+
+// CompactTombstones with no peers (a single-node ring) compacts everything:
+// there is nobody left who could resurrect the key.
+func TestMetaStoreSingleNodeGC(t *testing.T) {
+	s := NewMetaStore()
+	s.Put("designer/x", []byte("1"))
+	s.Delete("designer/x")
+	if n := s.CompactTombstones(nil); n != 1 {
+		t.Fatalf("single-node compaction dropped %d tombstones, want 1", n)
+	}
+}
+
+func membershipPayload(t *testing.T, ids ...string) []byte {
+	t.Helper()
+	var m Membership
+	for _, id := range ids {
+		m.Members = append(m.Members, Member{ID: id, URL: "http://" + id})
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The concurrent-join race: two nodes originate membership version v with
+// different member sets (each missing the other's joiner). Last-writer-wins
+// would drop one joiner; the union merge keeps both, identically on every
+// replica regardless of exchange order.
+func TestMetaStoreMembershipUnionMergeOnEqualVersion(t *testing.T) {
+	base := MetaEntry{Key: RingKey, Version: 1, Payload: membershipPayload(t, "n1")}
+	viaA := MetaEntry{Key: RingKey, Version: 2, Payload: membershipPayload(t, "n1", "n2")}
+	viaB := MetaEntry{Key: RingKey, Version: 2, Payload: membershipPayload(t, "n1", "n3")}
+
+	a, b := NewMetaStore(), NewMetaStore()
+	a.Apply(base)
+	b.Apply(base)
+	a.Apply(viaA)
+	b.Apply(viaB)
+
+	ma, changedA := a.Apply(viaB)
+	mb, changedB := b.Apply(viaA)
+	if !changedA || !changedB {
+		t.Fatal("equal-version conflict did not change state on both replicas")
+	}
+	if string(ma.Payload) != string(mb.Payload) {
+		t.Fatalf("replicas merged differently:\na=%s\nb=%s", ma.Payload, mb.Payload)
+	}
+	var merged Membership
+	if err := json.Unmarshal(ma.Payload, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Members) != 3 {
+		t.Fatalf("merged membership = %+v, want n1+n2+n3", merged.Members)
+	}
+	// Idempotent: re-applying either input is now a no-op, and the digests
+	// agree (same sum), so anti-entropy has nothing left to exchange.
+	if _, changed := a.Apply(viaB); changed {
+		t.Fatal("re-applying a merged-in entry changed state")
+	}
+	resp := b.Diff(a.Digest())
+	if len(resp.Updates) != 0 || len(resp.Wants) != 0 {
+		t.Fatalf("merged replicas still diff: %+v", resp)
+	}
+}
+
+// A duplicate member ID with conflicting URLs must resolve identically on
+// both replicas (deterministic pick), or the merged payload bytes — and
+// with them the digests — would differ forever.
+func TestMembershipMergeDeterministicURLConflict(t *testing.T) {
+	a := MetaEntry{Key: RingKey, Version: 2, Payload: membershipPayload(t, "n1")}
+	b := MetaEntry{Key: RingKey, Version: 2}
+	var m Membership
+	m.Members = []Member{{ID: "n1", URL: "http://n1-moved"}}
+	b.Payload, _ = json.Marshal(m)
+
+	s1, s2 := NewMetaStore(), NewMetaStore()
+	s1.Apply(a)
+	s1.Apply(b)
+	s2.Apply(b)
+	s2.Apply(a)
+	g1, _ := s1.Get(RingKey)
+	g2, _ := s2.Get(RingKey)
+	if string(g1.Payload) != string(g2.Payload) {
+		t.Fatalf("URL conflict resolved order-dependently:\ns1=%s\ns2=%s", g1.Payload, g2.Payload)
+	}
 }

@@ -229,11 +229,18 @@ func (p *Peer) PushEntries(ctx context.Context, from string, entries []MetaEntry
 // FetchIndex streams the peer's persisted index bytes for a designer
 // (GET /cluster/handoff/{id}) — the pull side of index handoff: a new ring
 // owner loads the old owner's index instead of re-running the offline build.
-// A peer that holds no ready index answers 404, surfaced as *StatusError;
-// the caller then falls back to rebuilding. The caller must Close the
-// returned stream.
-func (p *Peer) FetchIndex(ctx context.Context, from, id string) (io.ReadCloser, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.member.URL+"/cluster/handoff/"+id, nil)
+// A positive offset asks the peer to skip that many stream bytes — the
+// resume path after a broken pull; index serialization is deterministic, so
+// the suffix stitches onto the prefix already received and the section
+// checksums vouch for the result. A peer that holds no ready index answers
+// 404, surfaced as *StatusError; the caller then falls back to rebuilding.
+// The caller must Close the returned stream.
+func (p *Peer) FetchIndex(ctx context.Context, from, id string, offset int64) (io.ReadCloser, error) {
+	url := p.member.URL + "/cluster/handoff/" + id
+	if offset > 0 {
+		url += fmt.Sprintf("?offset=%d", offset)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -154,12 +154,15 @@ func (rt *Router) RingVersion() uint64 {
 // the rest of the cluster believes it has left. Peers that survive the
 // change keep their health state; new members start optimistic-healthy;
 // removed members are dropped (in-flight requests on their clients finish
-// on the old Peer objects). Stale versions (≤ the current one) are ignored
-// so out-of-order gossip cannot roll the ring back.
+// on the old Peer objects). Stale versions (< the current one) are ignored
+// so out-of-order gossip cannot roll the ring back; an equal version is
+// re-applied, because a concurrent-join conflict resolves to a merged
+// member set at the same version (MetaStore.Apply's union merge) and the
+// ring must pick up the union.
 func (rt *Router) SetMembers(members []Member, version uint64) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if version <= rt.ringVersion {
+	if version < rt.ringVersion {
 		return nil
 	}
 	nodeMembers := []Member{rt.self}

@@ -145,12 +145,22 @@ func TestRouterSetMembersVersionedAndHealthPreserving(t *testing.T) {
 		t.Fatal("new member must start optimistic-healthy")
 	}
 
-	// A stale (or merely re-delivered) membership must be ignored.
-	if err := rt.SetMembers([]Member{{ID: "node-a", URL: "http://a"}}, 1); err != nil {
+	// A stale membership must be ignored.
+	if err := rt.SetMembers([]Member{{ID: "node-a", URL: "http://a"}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(rt.Members()) != 3 {
 		t.Fatal("stale membership version rolled the ring back")
+	}
+
+	// An equal-version membership re-applies: a concurrent-join conflict
+	// resolves to a merged member set at the same version (the MetaStore
+	// union merge), and the ring must pick up the union.
+	if err := rt.SetMembers(append(v1, Member{ID: "node-d", URL: "http://d"}), 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Members()) != 4 {
+		t.Fatalf("equal-version merged membership not applied: members=%v", rt.Members())
 	}
 
 	// v2 removes node-b; the local node always stays on its own ring, even

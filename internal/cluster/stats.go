@@ -32,6 +32,10 @@ type Stats struct {
 	// the handoff endpoints, both pull and push side.
 	HandoffBytesIn  atomic.Int64
 	HandoffBytesOut atomic.Int64
+	// HandoffResumes counts mid-stream resumptions: a pull whose stream
+	// broke and was continued from the last complete section boundary
+	// instead of restarting from byte zero.
+	HandoffResumes atomic.Int64
 	// HandoffNs accumulates wall time spent transferring+loading indexes.
 	HandoffNs atomic.Int64
 }
@@ -48,6 +52,7 @@ type StatsSnapshot struct {
 	HandoffFailures     int64 `json:"handoff_failures"`
 	HandoffBytesIn      int64 `json:"handoff_bytes_in"`
 	HandoffBytesOut     int64 `json:"handoff_bytes_out"`
+	HandoffResumes      int64 `json:"handoff_resumes"`
 	HandoffNsTotal      int64 `json:"handoff_ns_total"`
 }
 
@@ -65,6 +70,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		HandoffFailures:     s.HandoffFailures.Load(),
 		HandoffBytesIn:      s.HandoffBytesIn.Load(),
 		HandoffBytesOut:     s.HandoffBytesOut.Load(),
+		HandoffResumes:      s.HandoffResumes.Load(),
 		HandoffNsTotal:      s.HandoffNs.Load(),
 	}
 }

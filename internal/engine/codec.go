@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"io"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/fairness"
+)
+
+// PayloadFormat selects the encoding of an engine's persisted index payload
+// (the bytes after the universal stream header).
+type PayloadFormat uint8
+
+// Payload formats. New indexes are written flat; gob payloads are the PR-2
+// legacy format, kept loadable so existing on-disk stores migrate instead of
+// rebuilding.
+const (
+	// PayloadGob is the legacy per-engine gob payload: decode cost scales
+	// with index size. Load-only in the serving stack.
+	PayloadGob PayloadFormat = iota
+	// PayloadFlat is the flat columnar section payload (internal/flatidx):
+	// one read, checksummed sections, slabs reinterpreted in place.
+	PayloadFlat
+)
+
+// DecodeOpts carries the query-time designer settings a decoded engine needs
+// to answer identically to the one that wrote the stream.
+type DecodeOpts struct {
+	// Refine enables the grid engine's per-query refinement (the
+	// refine-queries flag bit of the universal header). Other engines
+	// ignore it.
+	Refine bool
+}
+
+// Codec is the persistence seam between the mode dispatch table and the
+// engine packages: every engine supplies one, able to reconstruct a
+// queryable Engine from a payload of either format. The encode half stays on
+// Engine.Persist (which writes the current flat format); Decode is separate
+// because loading needs the dataset and oracle the index was built for,
+// which Persist never sees.
+type Codec interface {
+	// Decode reconstructs an engine from a persisted index payload of the
+	// given format. Flat-payload damage reports errors wrapping
+	// flatidx.ErrCorrupt; the caller maps them onto its own corrupt-index
+	// sentinel.
+	Decode(r io.Reader, format PayloadFormat, ds *dataset.Dataset, oracle fairness.Oracle, opts DecodeOpts) (Engine, error)
+}
+
+// LegacyPersister is implemented by engines that can still WRITE the PR-2
+// gob payload. The serving stack never calls it — it exists so migration
+// tests and the decode benchmarks can manufacture legacy streams, and so
+// cmd/idxtool can down-convert an index for compatibility testing.
+type LegacyPersister interface {
+	PersistLegacy(w io.Writer) error
+}

@@ -5,15 +5,109 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"unsafe"
 
+	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
+	"fairrank/internal/fairness"
+	"fairrank/internal/flatidx"
 	"fairrank/internal/geom"
 )
 
-// indexFile is the on-disk representation of a 2D ray-sweep index: the
-// satisfactory intervals are the whole queryable state (Query is a pure
-// function of them); the sweep statistics ride along so a loaded index
-// reports the same counters as the one that was saved.
-type indexFile struct {
+// Flat payload sections of a 2D ray-sweep index. The satisfactory intervals
+// are the whole queryable state (Query is a pure function of them); the
+// sweep statistics ride along so a loaded index reports the same counters as
+// the one that was saved.
+const (
+	secIntervals uint32 = 1 // float64: Start, End interleaved, 2 per interval
+	secStats     uint32 = 2 // int64: ExchangeCount, OracleCalls, Sectors
+)
+
+// WriteIndex serializes the index in the flat columnar format so the offline
+// ray sweep can be paid once and reused across processes. The interval slab
+// is written straight from the in-memory representation — encoding cost is
+// one table pass plus the checksums, independent of per-element structure.
+func (idx *Index) WriteIndex(w io.Writer) error {
+	fw := flatidx.NewWriter(flatidx.KindTwoD)
+	fw.Float64s(secIntervals, intervalsToSlab(idx.intervals))
+	fw.Int64s(secStats, []int64{int64(idx.ExchangeCount), int64(idx.OracleCalls), int64(idx.Sectors)})
+	return fw.Flush(w)
+}
+
+// intervalsToSlab reinterprets the interval slice as its flat float64 view
+// (Interval is exactly two float64s, so the memory layouts coincide).
+func intervalsToSlab(ivs []Interval) []float64 {
+	if len(ivs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&ivs[0])), len(ivs)*2)
+}
+
+// intervalsFromSlab is the inverse cast: the loaded index's intervals alias
+// the decoded payload blob — no per-element copy.
+func intervalsFromSlab(f []float64) []Interval {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*Interval)(unsafe.Pointer(&f[0])), len(f)/2)
+}
+
+// LoadIndex reconstructs a queryable index from WriteIndex output (the flat
+// format). A loaded index answers Query byte-identically to the index that
+// wrote it. Damaged payloads report errors wrapping flatidx.ErrCorrupt.
+func LoadIndex(r io.Reader) (*Index, error) {
+	fr, err := flatidx.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("twod: %w", err)
+	}
+	if fr.EngineKind() != flatidx.KindTwoD {
+		return nil, flatidx.Corruptf("twod: payload is for engine kind %d", fr.EngineKind())
+	}
+	slab, err := fr.Float64s(secIntervals)
+	if err != nil {
+		return nil, fmt.Errorf("twod: %w", err)
+	}
+	if len(slab)%2 != 0 {
+		return nil, flatidx.Corruptf("twod: odd interval slab length %d", len(slab))
+	}
+	stats, err := fr.Int64s(secStats)
+	if err != nil {
+		return nil, fmt.Errorf("twod: %w", err)
+	}
+	if len(stats) != 3 {
+		return nil, flatidx.Corruptf("twod: stats section has %d values, want 3", len(stats))
+	}
+	intervals := intervalsFromSlab(slab)
+	if err := validateIntervals(intervals); err != nil {
+		return nil, err
+	}
+	return &Index{
+		intervals:     intervals,
+		ExchangeCount: int(stats[0]),
+		OracleCalls:   int(stats[1]),
+		Sectors:       int(stats[2]),
+	}, nil
+}
+
+// validateIntervals enforces the structural invariants Query depends on:
+// each interval well-formed and inside [0, π/2], the list sorted and
+// non-overlapping. Checked on every load path, so a damaged slab that
+// happens to pass the checksums still cannot produce wrong answers.
+func validateIntervals(ivs []Interval) error {
+	for i, iv := range ivs {
+		if !(iv.Start <= iv.End) || iv.Start < -geom.Eps || iv.End > math.Pi/2+geom.Eps {
+			return flatidx.Corruptf("twod: index interval %d [%v, %v] outside [0, π/2]", i, iv.Start, iv.End)
+		}
+		if i > 0 && ivs[i-1].End > iv.Start {
+			return flatidx.Corruptf("twod: index intervals %d and %d out of order", i-1, i)
+		}
+	}
+	return nil
+}
+
+// gobIndexFile is the legacy PR-2 gob representation, kept so existing
+// stores load (and migrate) instead of rebuilding.
+type gobIndexFile struct {
 	FormatVersion int
 	Intervals     []Interval
 	ExchangeCount int
@@ -21,15 +115,16 @@ type indexFile struct {
 	Sectors       int
 }
 
-// indexFormatVersion guards against loading 2D indexes written by an
+// gobFormatVersion guards against loading legacy 2D indexes written by an
 // incompatible build.
-const indexFormatVersion = 1
+const gobFormatVersion = 1
 
-// WriteIndex serializes the index so the offline ray sweep can be paid once
-// and reused across processes.
-func (idx *Index) WriteIndex(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(&indexFile{
-		FormatVersion: indexFormatVersion,
+// WriteIndexGob writes the legacy gob payload. The serving stack never
+// calls it — migration tests and the load benchmarks use it to manufacture
+// PR-2-era streams.
+func (idx *Index) WriteIndexGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&gobIndexFile{
+		FormatVersion: gobFormatVersion,
 		Intervals:     idx.intervals,
 		ExchangeCount: idx.ExchangeCount,
 		OracleCalls:   idx.OracleCalls,
@@ -37,23 +132,17 @@ func (idx *Index) WriteIndex(w io.Writer) error {
 	})
 }
 
-// LoadIndex reconstructs a queryable index from WriteIndex output. A loaded
-// index answers Query byte-identically to the index that wrote it.
-func LoadIndex(r io.Reader) (*Index, error) {
-	var file indexFile
+// LoadIndexGob reconstructs an index from a legacy gob payload.
+func LoadIndexGob(r io.Reader) (*Index, error) {
+	var file gobIndexFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
 		return nil, fmt.Errorf("twod: decoding index: %w", err)
 	}
-	if file.FormatVersion != indexFormatVersion {
-		return nil, fmt.Errorf("twod: index format %d, want %d", file.FormatVersion, indexFormatVersion)
+	if file.FormatVersion != gobFormatVersion {
+		return nil, fmt.Errorf("twod: index format %d, want %d", file.FormatVersion, gobFormatVersion)
 	}
-	for i, iv := range file.Intervals {
-		if !(iv.Start <= iv.End) || iv.Start < -geom.Eps || iv.End > math.Pi/2+geom.Eps {
-			return nil, fmt.Errorf("twod: index interval %d [%v, %v] outside [0, π/2]", i, iv.Start, iv.End)
-		}
-		if i > 0 && file.Intervals[i-1].End > iv.Start {
-			return nil, fmt.Errorf("twod: index intervals %d and %d out of order", i-1, i)
-		}
+	if err := validateIntervals(file.Intervals); err != nil {
+		return nil, err
 	}
 	return &Index{
 		intervals:     file.Intervals,
@@ -61,4 +150,26 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		OracleCalls:   file.OracleCalls,
 		Sectors:       file.Sectors,
 	}, nil
+}
+
+// Codec is the 2D engine's persistence codec (engine.Codec): flat payloads
+// through LoadIndex, legacy gob payloads through LoadIndexGob. The 2D index
+// is self-contained, so the dataset and oracle are unused.
+type Codec struct{}
+
+// Decode implements engine.Codec.
+func (Codec) Decode(r io.Reader, format engine.PayloadFormat, _ *dataset.Dataset, _ fairness.Oracle, _ engine.DecodeOpts) (engine.Engine, error) {
+	var (
+		idx *Index
+		err error
+	)
+	if format == engine.PayloadFlat {
+		idx, err = LoadIndex(r)
+	} else {
+		idx, err = LoadIndexGob(r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(idx), nil
 }

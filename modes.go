@@ -1,12 +1,14 @@
 package fairrank
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"fairrank/internal/cells"
 	"fairrank/internal/core"
 	"fairrank/internal/engine"
+	"fairrank/internal/flatidx"
 	"fairrank/internal/twod"
 )
 
@@ -72,29 +74,29 @@ func buildEngine(mode Mode, ds *Dataset, oracle Oracle, cfg Config) (engine.Engi
 	}
 }
 
+// codecs maps each mode onto its engine's persistence codec. Like
+// buildEngine, this table is the only place load-time dispatch lives.
+var codecs = map[Mode]engine.Codec{
+	Mode2D:     twod.Codec{},
+	ModeExact:  core.Codec{},
+	ModeApprox: cells.Codec{},
+}
+
 // loadEngine reconstructs a mode's engine adapter from a persisted index
-// payload (the universal header has already been read and validated).
-func loadEngine(mode Mode, r io.Reader, ds *Dataset, oracle Oracle, refine bool) (engine.Engine, error) {
-	switch mode {
-	case Mode2D:
-		idx, err := twod.LoadIndex(r)
-		if err != nil {
-			return nil, err
-		}
-		return twod.NewEngine(idx), nil
-	case ModeExact:
-		idx, err := core.LoadIndex(r, ds, oracle)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewEngine(idx), nil
-	case ModeApprox:
-		idx, err := cells.LoadIndex(r, ds, oracle)
-		if err != nil {
-			return nil, err
-		}
-		return cells.NewEngine(idx, refine), nil
-	default:
+// payload of either format (the universal header has already been read and
+// validated). Flat-payload damage — bad checksums, truncated sections,
+// implausible slab shapes — surfaces as ErrCorruptIndex.
+func loadEngine(mode Mode, r io.Reader, format engine.PayloadFormat, ds *Dataset, oracle Oracle, refine bool) (engine.Engine, error) {
+	codec, ok := codecs[mode]
+	if !ok {
 		return nil, fmt.Errorf("fairrank: unknown mode %v", mode)
 	}
+	eng, err := codec.Decode(r, format, ds, oracle, engine.DecodeOpts{Refine: refine})
+	if err != nil {
+		if errors.Is(err, flatidx.ErrCorrupt) {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
+		}
+		return nil, err
+	}
+	return eng, nil
 }

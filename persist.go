@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"fairrank/internal/engine"
 )
 
 // Index persistence: every engine's offline phase can be saved with
@@ -24,6 +26,10 @@ var indexMagic = [8]byte{'F', 'R', 'N', 'K', 'I', 'D', 'X', '1'}
 // Engine payloads carry their own format versions on top of it.
 const IndexFormatVersion = 1
 
+// indexStreamHeaderLen is the byte length of the magic plus the universal
+// header — where the engine payload starts in every index stream.
+const indexStreamHeaderLen = 8 + 32
+
 // indexHeader is the fixed-size universal header preceding every engine
 // payload.
 type indexHeader struct {
@@ -35,9 +41,16 @@ type indexHeader struct {
 	Fingerprint uint64
 }
 
-// Header flag bits: query-time designer settings that must survive a
-// save/load cycle for a loaded designer to answer identically.
-const flagRefineQueries = 1 << 0
+// Header flag bits. flagRefineQueries is a query-time designer setting that
+// must survive a save/load cycle for a loaded designer to answer
+// identically; flagFlatPayload records which encoding the engine payload
+// uses — set on every stream this build writes, absent on PR-2-era gob
+// stores, which still load (and are migrated on startup, see
+// Server.loadDesigner).
+const (
+	flagRefineQueries = 1 << 0
+	flagFlatPayload   = 1 << 1
+)
 
 // ErrCorruptIndex reports that a stream is not a fairrank index or was
 // truncated or damaged before the engine payload.
@@ -106,10 +119,48 @@ func (d *Designer) SaveIndex(w io.Writer) error {
 	if d.refine {
 		flags |= flagRefineQueries
 	}
+	flags |= flagFlatPayload
 	if err := writeIndexHeader(w, d.mode, d.ds, flags); err != nil {
 		return err
 	}
 	return d.eng.Persist(w)
+}
+
+// SaveIndexLegacy writes the PR-2 stream: the same universal header but a
+// gob engine payload. The serving stack never calls it — it exists so
+// migration tests and cmd/idxtool can manufacture legacy stores against
+// which the auto-migration path is exercised.
+func (d *Designer) SaveIndexLegacy(w io.Writer) error {
+	lp, ok := d.eng.(engine.LegacyPersister)
+	if !ok {
+		return fmt.Errorf("fairrank: engine %T cannot write the legacy format", d.eng)
+	}
+	var flags uint32
+	if d.refine {
+		flags |= flagRefineQueries
+	}
+	if err := writeIndexHeader(w, d.mode, d.ds, flags); err != nil {
+		return err
+	}
+	return lp.PersistLegacy(w)
+}
+
+// IsLegacyIndexStream reports whether b starts with a valid universal header
+// whose payload is the PR-2 gob encoding. It never errors: damaged or
+// foreign bytes report false and are left for LoadDesigner to diagnose.
+// Server startup uses it to decide whether a store it just loaded should be
+// re-saved in the current flat format.
+func IsLegacyIndexStream(b []byte) bool {
+	if len(b) < len(indexMagic)+32 {
+		return false
+	}
+	var magic [8]byte
+	copy(magic[:], b)
+	if magic != indexMagic {
+		return false
+	}
+	flags := binary.LittleEndian.Uint32(b[20:24])
+	return flags&flagFlatPayload == 0
 }
 
 // LoadDesigner reconstructs a designer of any engine mode from a SaveIndex
@@ -127,7 +178,11 @@ func LoadDesigner(r io.Reader, ds *Dataset, oracle Oracle) (*Designer, error) {
 		return nil, err
 	}
 	refine := flags&flagRefineQueries != 0
-	eng, err := loadEngine(mode, r, ds, oracle, refine)
+	format := engine.PayloadGob
+	if flags&flagFlatPayload != 0 {
+		format = engine.PayloadFlat
+	}
+	eng, err := loadEngine(mode, r, format, ds, oracle, refine)
 	if err != nil {
 		return nil, err
 	}

@@ -2,16 +2,23 @@ package fairrank
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
 
 	"fairrank/internal/datagen"
+	"fairrank/internal/flatidx"
 )
 
 // roundtripFixture builds a designer in the given mode over a small dataset
 // with a matching oracle, plus a set of probe queries.
-func roundtripFixture(t *testing.T, mode Mode) (*Dataset, Oracle, *Designer, [][]float64) {
+func roundtripFixture(t testing.TB, mode Mode) (*Dataset, Oracle, *Designer, [][]float64) {
 	t.Helper()
 	var (
 		ds  *Dataset
@@ -187,6 +194,318 @@ func TestSaveLoadPreservesRefineQueries(t *testing.T) {
 	}
 	if !loaded.refine {
 		t.Fatal("RefineQueries lost in the save/load roundtrip")
+	}
+}
+
+// suggestAll runs every probe query and returns the answers (nil entries for
+// unsatisfiable ones), for comparing designers across save/load paths.
+func suggestAll(t *testing.T, d *Designer, queries [][]float64) []*Suggestion {
+	t.Helper()
+	out := make([]*Suggestion, len(queries))
+	for i, w := range queries {
+		s, err := d.Suggest(w)
+		if err != nil {
+			if !errors.Is(err, ErrUnsatisfiable) {
+				t.Fatal(err)
+			}
+			continue
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func sameSuggestions(a, b []*Suggestion) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if (a[i] == nil) != (b[i] == nil) {
+			return false
+		}
+		if a[i] == nil {
+			continue
+		}
+		if a[i].Distance != b[i].Distance || a[i].AlreadyFair != b[i].AlreadyFair ||
+			!reflect.DeepEqual(a[i].Weights, b[i].Weights) {
+			return false
+		}
+	}
+	return true
+}
+
+// A PR-2-era gob store must still load — and answer byte-identically to
+// both the original designer and its flat re-save — for every engine. This
+// is the migration guarantee: upgrading a node never forces a rebuild.
+func TestLegacyGobMigrationRoundtripAllModes(t *testing.T) {
+	for _, mode := range []Mode{Mode2D, ModeExact, ModeApprox} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ds, oracle, d, queries := roundtripFixture(t, mode)
+			want := suggestAll(t, d, queries)
+
+			var legacy, flat bytes.Buffer
+			if err := d.SaveIndexLegacy(&legacy); err != nil {
+				t.Fatalf("SaveIndexLegacy(%v): %v", mode, err)
+			}
+			if err := d.SaveIndex(&flat); err != nil {
+				t.Fatal(err)
+			}
+			if !IsLegacyIndexStream(legacy.Bytes()) {
+				t.Fatal("legacy stream not detected as legacy")
+			}
+			if IsLegacyIndexStream(flat.Bytes()) {
+				t.Fatal("flat stream misdetected as legacy")
+			}
+
+			fromLegacy, err := LoadDesigner(bytes.NewReader(legacy.Bytes()), ds, oracle)
+			if err != nil {
+				t.Fatalf("loading legacy stream: %v", err)
+			}
+			if got := suggestAll(t, fromLegacy, queries); !sameSuggestions(want, got) {
+				t.Fatal("legacy-loaded designer answers differently")
+			}
+			// Migrate: re-save the legacy-loaded designer (what the server
+			// does on startup) and load the flat bytes back.
+			var resaved bytes.Buffer
+			if err := fromLegacy.SaveIndex(&resaved); err != nil {
+				t.Fatal(err)
+			}
+			if IsLegacyIndexStream(resaved.Bytes()) {
+				t.Fatal("re-save kept the legacy format")
+			}
+			fromFlat, err := LoadDesigner(bytes.NewReader(resaved.Bytes()), ds, oracle)
+			if err != nil {
+				t.Fatalf("loading migrated stream: %v", err)
+			}
+			if got := suggestAll(t, fromFlat, queries); !sameSuggestions(want, got) {
+				t.Fatal("migrated designer answers differently")
+			}
+		})
+	}
+}
+
+// Hostile flat streams: every truncation and every damaged checksum must
+// surface as ErrCorruptIndex — never a panic, never a silently wrong index.
+func TestFlatHostileStreamsAllModes(t *testing.T) {
+	for _, mode := range []Mode{Mode2D, ModeExact, ModeApprox} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ds, oracle, d, _ := roundtripFixture(t, mode)
+			var buf bytes.Buffer
+			if err := d.SaveIndex(&buf); err != nil {
+				t.Fatal(err)
+			}
+			good := buf.Bytes()
+
+			// Truncations at every offset (strided for the bigger payloads).
+			stride := 1
+			if len(good) > 4096 {
+				stride = 131
+			}
+			for cut := 0; cut < len(good); cut += stride {
+				if _, err := LoadDesigner(bytes.NewReader(good[:cut]), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
+					t.Fatalf("truncation at %d/%d: got %v, want ErrCorruptIndex", cut, len(good), err)
+				}
+			}
+
+			// Flip a byte inside every section checksum. Layout: universal
+			// header (40 bytes), flat header (24 bytes, section count at
+			// offset 16), then 24-byte table entries with the CRC at entry
+			// offset 12.
+			payload := good[40:]
+			nSections := int(binary.LittleEndian.Uint32(payload[16:20]))
+			if nSections == 0 {
+				t.Fatal("fixture produced no sections")
+			}
+			for i := 0; i < nSections; i++ {
+				bad := append([]byte(nil), good...)
+				bad[40+24+i*24+12] ^= 0xff
+				if _, err := LoadDesigner(bytes.NewReader(bad), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
+					t.Fatalf("flipped CRC of section %d: got %v, want ErrCorruptIndex", i, err)
+				}
+			}
+
+			// Wrong section counts: one too many, absurdly many, zero.
+			for _, count := range []uint32{uint32(nSections) + 1, 1 << 20, 0} {
+				bad := append([]byte(nil), good...)
+				binary.LittleEndian.PutUint32(bad[40+16:], count)
+				if _, err := LoadDesigner(bytes.NewReader(bad), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
+					t.Fatalf("section count %d: got %v, want ErrCorruptIndex", count, err)
+				}
+			}
+
+			// Flip every byte of the first slab's data (past the table): the
+			// CRC must catch each one.
+			dataStart := 40 + 24 + nSections*24
+			end := min(dataStart+64, len(good))
+			for i := dataStart; i < end; i++ {
+				bad := append([]byte(nil), good...)
+				bad[i] ^= 0xff
+				if _, err := LoadDesigner(bytes.NewReader(bad), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
+					t.Fatalf("flipped slab byte %d: got %v, want ErrCorruptIndex", i, err)
+				}
+			}
+		})
+	}
+}
+
+// FuzzLoadDesigner drives arbitrary bytes through the full load path —
+// universal header, flat section table, engine decode, structural
+// validation. The invariant is simply: never panic, never hang; any return
+// is either a working designer or an error.
+func FuzzLoadDesigner(f *testing.F) {
+	ds, oracle, exact, _ := roundtripFixture(f, ModeExact)
+	_, _, approx, _ := roundtripFixture(f, ModeApprox)
+	var exactFlat, exactLegacy, approxFlat bytes.Buffer
+	if err := exact.SaveIndex(&exactFlat); err != nil {
+		f.Fatal(err)
+	}
+	if err := exact.SaveIndexLegacy(&exactLegacy); err != nil {
+		f.Fatal(err)
+	}
+	if err := approx.SaveIndex(&approxFlat); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(exactFlat.Bytes())
+	f.Add(exactLegacy.Bytes())
+	f.Add(approxFlat.Bytes())
+	f.Add(exactFlat.Bytes()[:41])
+	f.Add(exactFlat.Bytes()[:len(exactFlat.Bytes())-3])
+	f.Add([]byte("FRNKIDX1 not really a header"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := LoadDesigner(bytes.NewReader(data), ds, oracle)
+		if err == nil && d == nil {
+			t.Fatal("nil designer without error")
+		}
+		if d != nil {
+			d.Satisfiable()
+		}
+	})
+}
+
+// Startup auto-migration: a data dir holding a PR-2 gob store loads, serves
+// identically, and is rewritten flat on disk — the slow decode is paid once.
+func TestServerMigratesLegacyStoreOnLoad(t *testing.T) {
+	srv, _ := testServer(t)
+	dir := t.TempDir()
+	ds, err := datagen.Biased(70, 2, 0.5, 0.3, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddDataset("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	spec := DesignerSpec{
+		Dataset: "d",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+	}
+	if err := srv.CreateDesigner("x", spec); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := srv.Suggest("x", []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the index file in the legacy gob format, as a PR-2 node would
+	// have left it.
+	path := filepath.Join(dir, "x.index")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := spec.Oracle.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDesigner(bytes.NewReader(raw), ds, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := d.SaveIndexLegacy(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, legacy.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewServer()
+	if err := restored.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Suggest("x", []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Distance != want.Distance || !reflect.DeepEqual(got.Weights, want.Weights) {
+		t.Fatalf("migrated answer %+v differs from original %+v", got, want)
+	}
+	migrated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsLegacyIndexStream(migrated) {
+		t.Fatal("startup did not rewrite the legacy store in the flat format")
+	}
+	if _, err := LoadDesigner(bytes.NewReader(migrated), ds, oracle); err != nil {
+		t.Fatalf("migrated file does not load: %v", err)
+	}
+}
+
+// The handoff resume contract: serialization is deterministic, the resume
+// offset lands on a section boundary (flatidx.CompletePrefix), and a suffix
+// served through the endpoint's skipWriter stitches into a byte-identical
+// stream that loads cleanly.
+func TestHandoffResumeStitching(t *testing.T) {
+	ds, oracle, d, queries := roundtripFixture(t, ModeExact)
+	want := suggestAll(t, d, queries)
+	var full bytes.Buffer
+	if err := d.SaveIndex(&full); err != nil {
+		t.Fatal(err)
+	}
+	good := full.Bytes()
+
+	// Determinism: a second save is byte-identical — the precondition for
+	// stitching a refetched suffix onto a kept prefix.
+	var again bytes.Buffer
+	if err := d.SaveIndex(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(good, again.Bytes()) {
+		t.Fatal("SaveIndex is not deterministic; handoff resume would corrupt")
+	}
+
+	for _, cut := range []int{20, 50, len(good) / 3, len(good) - 5} {
+		// The stream broke after cut bytes: keep up to the last complete
+		// section boundary, exactly like fetchIndexResumable.
+		keep := 0
+		if cut > indexStreamHeaderLen {
+			keep = indexStreamHeaderLen + flatidx.CompletePrefix(good[indexStreamHeaderLen:cut])
+		}
+		var rest bytes.Buffer
+		if err := d.SaveIndex(&skipWriter{w: &rest, skip: int64(keep)}); err != nil {
+			t.Fatal(err)
+		}
+		stitched := append(append([]byte(nil), good[:keep]...), rest.Bytes()...)
+		if !bytes.Equal(stitched, good) {
+			t.Fatalf("cut %d: stitched stream differs from the unbroken one", cut)
+		}
+		loaded, err := LoadDesigner(bytes.NewReader(stitched), ds, oracle)
+		if err != nil {
+			t.Fatalf("cut %d: stitched stream does not load: %v", cut, err)
+		}
+		if got := suggestAll(t, loaded, queries); !sameSuggestions(want, got) {
+			t.Fatalf("cut %d: resumed index answers differently", cut)
+		}
 	}
 }
 

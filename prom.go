@@ -20,12 +20,14 @@ import (
 
 // clusterMetricsJSON is the "cluster" section of the JSON /metrics document.
 type clusterMetricsJSON struct {
-	RingVersion  uint64                `json:"ring_version"`
-	MetaEntries  int                   `json:"meta_entries"`
-	MetaApplied  int64                 `json:"meta_applied"`
-	MetaRejected int64                 `json:"meta_rejected"`
-	Stats        cluster.StatsSnapshot `json:"stats"`
-	Peers        []peerMetricsJSON     `json:"peers,omitempty"`
+	RingVersion    uint64                `json:"ring_version"`
+	MetaEntries    int                   `json:"meta_entries"`
+	MetaTombstones int                   `json:"meta_tombstones"`
+	MetaGCed       int64                 `json:"meta_tombstones_gced"`
+	MetaApplied    int64                 `json:"meta_applied"`
+	MetaRejected   int64                 `json:"meta_rejected"`
+	Stats          cluster.StatsSnapshot `json:"stats"`
+	Peers          []peerMetricsJSON     `json:"peers,omitempty"`
 }
 
 type peerMetricsJSON struct {
@@ -38,11 +40,13 @@ type peerMetricsJSON struct {
 func (s *Server) clusterMetrics() clusterMetricsJSON {
 	applied, rejected := s.meta.ApplyCounts()
 	cm := clusterMetricsJSON{
-		RingVersion:  s.router.RingVersion(),
-		MetaEntries:  s.meta.Len(),
-		MetaApplied:  applied,
-		MetaRejected: rejected,
-		Stats:        s.router.Stats().Snapshot(),
+		RingVersion:    s.router.RingVersion(),
+		MetaEntries:    s.meta.Len(),
+		MetaTombstones: s.meta.TombstoneCount(),
+		MetaGCed:       s.meta.TombstonesGCed(),
+		MetaApplied:    applied,
+		MetaRejected:   rejected,
+		Stats:          s.router.Stats().Snapshot(),
 	}
 	for _, p := range s.router.Peers() {
 		fw, ff := p.ForwardCounts()
@@ -113,6 +117,10 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		float64(cm.RingVersion))
 	p.Gauge("fairrank_meta_entries", "Entries in the replicated metadata store (tombstones included).",
 		float64(cm.MetaEntries))
+	p.Gauge("fairrank_meta_tombstones", "Live tombstones awaiting cluster-wide acknowledgement.",
+		float64(cm.MetaTombstones))
+	p.Counter("fairrank_meta_tombstones_gced_total", "Tombstones compacted after every member acked them.",
+		float64(cm.MetaGCed))
 	p.Counter("fairrank_meta_applied_total", "Remote metadata entries accepted by Apply.", float64(cm.MetaApplied))
 	p.Counter("fairrank_meta_rejected_total", "Remote metadata entries rejected as stale or duplicate.", float64(cm.MetaRejected))
 
@@ -131,6 +139,8 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		float64(st.HandoffBytesIn), "direction", "in")
 	p.Counter("fairrank_handoff_bytes_total", "Index bytes served on handoff endpoints.",
 		float64(st.HandoffBytesOut), "direction", "out")
+	p.Counter("fairrank_handoff_resumes_total", "Broken handoff streams resumed from a section boundary.",
+		float64(st.HandoffResumes))
 	p.Summary("fairrank_handoff_seconds", "Wall time of index transfers (fetch + load).",
 		float64(st.HandoffNsTotal)/1e9, st.HandoffPulls+st.HandoffPushes)
 

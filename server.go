@@ -1,6 +1,7 @@
 package fairrank
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -898,15 +899,25 @@ func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
 	if !s.router.OwnedLocally(id) {
 		return nil
 	}
-	if f, err := os.Open(filepath.Join(dir, id+".index")); err == nil {
+	path := filepath.Join(dir, id+".index")
+	if raw, err := os.ReadFile(path); err == nil {
 		ds, _ := s.Dataset(spec.Dataset)
 		oracle, oerr := spec.Oracle.Build(ds)
 		var d *Designer
 		if oerr == nil {
-			d, oerr = LoadDesigner(f, ds, oracle)
+			d, oerr = LoadDesigner(bytes.NewReader(raw), ds, oracle)
 		}
-		f.Close()
 		if oerr == nil {
+			// Auto-migrate: a store in the PR-2 gob format is re-saved flat
+			// right after it loads, so the slow decode is paid exactly once
+			// per store, not on every restart.
+			if IsLegacyIndexStream(raw) {
+				if werr := writeFileAtomic(path, d.SaveIndex); werr != nil {
+					s.logf("fairrank: designer %q: legacy index loaded but re-save failed: %v", id, werr)
+				} else {
+					s.logf("fairrank: designer %q: migrated legacy index to flat format", id)
+				}
+			}
 			_, rerr := s.shard(id).CreateReady(id, &designerEngine{d: d}, build)
 			return rerr
 		}
