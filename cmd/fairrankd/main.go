@@ -10,7 +10,7 @@
 //	fairrankd [-addr :8080] [-data ./fairrankd-data]
 //	          [-node-id node-0] [-shards 4] [-peers node-1=http://host:8080,...]
 //	          [-advertise http://host:8080] [-join http://seed:8080]
-//	          [-anti-entropy 5s] [-drain]
+//	          [-anti-entropy 5s] [-replicas 0] [-drain]
 //	          [-debug-addr :6060] [-slow-query-threshold 250ms]
 //
 // A fleet of fairrankd nodes forms a cluster: designers are partitioned
@@ -21,7 +21,10 @@
 // streamed over from their previous owners instead of rebuilt), SIGTERM with
 // -drain hands its indexes off and leaves the ring, and a periodic
 // anti-entropy pass (-anti-entropy) repairs metadata any member missed while
-// it was down. See the "Operating a cluster" section of the README.
+// it was down. With -replicas k > 0 each designer's owner pushes its sealed
+// index to k follower nodes, reads fan out across the whole replica set, and
+// an owner crash promotes a follower's copy instead of rebuilding (see
+// docs/REPLICATION.md). See the "Operating a cluster" section of the README.
 //
 // Observability: every request is traced (recent traces at /debug/traces,
 // Prometheus exposition at /metrics?format=prometheus), requests slower than
@@ -111,6 +114,7 @@ func main() {
 	advertise := flag.String("advertise", "", "this node's reachable base URL for peers (default: derived from -addr on loopback)")
 	joinAddr := flag.String("join", "", "URL of any existing cluster member to join at startup")
 	antiEntropy := flag.Duration("anti-entropy", 5*time.Second, "anti-entropy digest exchange period (0 = disabled)")
+	replicas := flag.Int("replicas", 0, "read replicas per designer; gossiped cluster-wide, restart with a new value to change it (0 = owner-only)")
 	drain := flag.Bool("drain", true, "on SIGTERM/SIGINT, hand indexes to their next owners and leave the ring")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	slowThreshold := flag.Duration("slow-query-threshold", 250*time.Millisecond, "log requests slower than this (0 = disabled)")
@@ -135,6 +139,7 @@ func main() {
 		AdvertiseURL:        *advertise,
 		HealthInterval:      *healthInterval,
 		AntiEntropyInterval: *antiEntropy,
+		Replicas:            *replicas,
 		Logger:              logger,
 		TraceBuffer:         *traceBuffer,
 		SlowQueryThreshold:  *slowThreshold,

@@ -205,7 +205,9 @@ func (s *Server) materialize(e cluster.MetaEntry) error {
 		if e.Deleted {
 			s.mu.Lock()
 			delete(s.specs, id)
+			delete(s.pushed, id)
 			s.mu.Unlock()
+			s.replicas.Remove(id)
 			if s.shard(id).Remove(id) {
 				s.logf("cluster: designer %q removed by replicated tombstone", id)
 			}
@@ -240,6 +242,28 @@ func (s *Server) materialize(e cluster.MetaEntry) error {
 			}
 		}
 		s.ensureOwned(id)
+		return nil
+
+	case e.Key == cluster.ReplicaConfigKey:
+		if e.Deleted {
+			return nil // the factor is lowered to 0, never tombstoned
+		}
+		var rc cluster.ReplicaConfig
+		if err := json.Unmarshal(e.Payload, &rc); err != nil {
+			return err
+		}
+		if old := s.replicaK.Swap(int64(rc.K)); old != int64(rc.K) {
+			s.logf("cluster: replica factor %d applied (v%d)", rc.K, e.Version)
+		}
+		return nil
+
+	case strings.HasPrefix(e.Key, cluster.ReplicaKeyPrefix):
+		// Publication entries are consulted on demand (the stale-read guard
+		// and the sync loop read the store directly); only the tombstone has
+		// eager work — dropping the follower copy of a deleted designer.
+		if e.Deleted {
+			s.replicas.Remove(strings.TrimPrefix(e.Key, cluster.ReplicaKeyPrefix))
+		}
 		return nil
 	}
 	return fmt.Errorf("fairrank: unknown metadata key %q", e.Key)
@@ -288,6 +312,7 @@ func (s *Server) reconcile() {
 	for _, id := range ids {
 		s.ensureOwned(id)
 	}
+	s.replicaTick()
 }
 
 // rebalance re-evaluates ownership after a ring change. Designers this node
@@ -339,6 +364,12 @@ func (s *Server) ensureOwned(id string) {
 			// anti-entropy round retries once it lands.
 			return
 		}
+		// Promote-not-rebuild: a pushed replica copy (if fresh) activates in
+		// memory, making failover index-activation latency. Handoff streams
+		// from a live holder next; rebuild stays the zero-replica fallback.
+		if _, ok := s.promoteReplica(id, build); ok {
+			return
+		}
 		if s.tryHandoff(id, spec, build) {
 			return
 		}
@@ -367,7 +398,7 @@ func (s *Server) tryHandoff(id string, spec DesignerSpec, build service.BuildFun
 	ctx, cancel := context.WithTimeout(obs.NewContext(context.Background(), rec), 2*time.Minute)
 	defer cancel()
 	sp := rec.Start("fetch")
-	buf, err := s.fetchIndexResumable(ctx, src, id)
+	buf, gen, err := s.fetchIndexResumable(ctx, src, id)
 	if err != nil {
 		sp.EndNote("failed peer=" + src.Member().ID)
 		stats.HandoffFailures.Add(1)
@@ -389,7 +420,10 @@ func (s *Server) tryHandoff(id string, spec DesignerSpec, build service.BuildFun
 	}
 	sp.EndNote(fmt.Sprintf("bytes=%d", len(buf)))
 	sp = rec.Start("activate")
-	_, cerr := s.shard(id).CreateReady(id, &designerEngine{d: d}, build)
+	// The source stamps the stream with its serving generation; activating at
+	// that generation keeps the designer's generation monotone across the
+	// ownership move (and lets replica freshness checks keep working).
+	_, cerr := s.shard(id).CreateReadyGen(id, &designerEngine{d: d}, build, gen)
 	sp.End()
 	stats.HandoffPulls.Add(1)
 	stats.HandoffNs.Add(time.Since(begin).Nanoseconds())
@@ -410,23 +444,25 @@ func (s *Server) tryHandoff(id string, spec DesignerSpec, build service.BuildFun
 // deterministic, so the stitched stream is byte-identical to an unbroken
 // one and every retained section's checksum has already been, or will be,
 // verified by the loader. Gives up after three broken streams.
-func (s *Server) fetchIndexResumable(ctx context.Context, src *cluster.Peer, id string) ([]byte, error) {
+func (s *Server) fetchIndexResumable(ctx context.Context, src *cluster.Peer, id string) ([]byte, uint64, error) {
 	const maxStreams = 3
 	var buf []byte
+	var gen uint64
 	for attempt := 0; ; attempt++ {
-		rc, err := src.FetchIndex(ctx, s.router.NodeID(), id, int64(len(buf)))
+		rc, g, err := src.FetchIndex(ctx, s.router.NodeID(), id, int64(len(buf)))
 		if err != nil {
 			// Connection refused, 404, and friends: resume cannot help.
-			return nil, err
+			return nil, 0, err
 		}
+		gen = max(gen, g)
 		rest, rerr := io.ReadAll(rc)
 		rc.Close()
 		buf = append(buf, rest...)
 		if rerr == nil {
-			return buf, nil
+			return buf, gen, nil
 		}
 		if attempt+1 >= maxStreams {
-			return nil, fmt.Errorf("handoff stream broke %d times: %w", maxStreams, rerr)
+			return nil, 0, fmt.Errorf("handoff stream broke %d times: %w", maxStreams, rerr)
 		}
 		keep := 0
 		if len(buf) > indexStreamHeaderLen {
@@ -541,7 +577,7 @@ func (s *Server) LeaveCluster(ctx context.Context) error {
 		go func() { pw.CloseWithError(eng.SaveIndex(pw)) }()
 		cr := &obs.CountingReader{R: pr}
 		begin := time.Now()
-		err = peer.PushIndex(ctx, self, id, cr)
+		err = peer.PushIndex(ctx, self, id, entry.Generation(), cr)
 		stats.HandoffBytesOut.Add(cr.N())
 		stats.HandoffNs.Add(time.Since(begin).Nanoseconds())
 		if err != nil {

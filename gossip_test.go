@@ -28,10 +28,20 @@ func (lc *logCapture) logf(format string, args ...any) {
 	lc.mu.Unlock()
 }
 
-func (lc *logCapture) any(sub string) bool {
+func (lc *logCapture) any(sub string) bool { return lc.anyAfter(0, sub) }
+
+// mark returns the current line count, for anyAfter assertions scoped to
+// "lines logged after this point".
+func (lc *logCapture) mark() int {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
-	for _, l := range lc.lines {
+	return len(lc.lines)
+}
+
+func (lc *logCapture) anyAfter(mark int, sub string) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, l := range lc.lines[min(mark, len(lc.lines)):] {
 		if strings.Contains(l, sub) {
 			return true
 		}
@@ -593,4 +603,278 @@ func TestLeaveDrainPushesIndexes(t *testing.T) {
 			t.Fatal("left node still on the survivor's ring")
 		}
 	}
+}
+
+// startReplicaNode is startGossipNode with a -replicas value: only the nodes
+// booted with replicas > 0 originate the gossiped replication factor; the
+// rest learn it through the config entry (which is itself under test).
+func startReplicaNode(t *testing.T, id string, replicas int, antiEntropy time.Duration) *gossipNode {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	logs := &logCapture{}
+	srv, err := NewClusterServer(ClusterConfig{
+		NodeID: id,
+		Shards: 2,
+		// The probe timeout equals the interval; 50ms (what the other gossip
+		// tests use) flaps under three nodes building concurrently, and an
+		// ownership flap leaves warm-standby registry entries that would mask
+		// the promote-vs-rebuild distinction these tests assert on.
+		HealthInterval:      250 * time.Millisecond,
+		AdvertiseURL:        "http://" + addr,
+		AntiEntropyInterval: antiEntropy,
+		Replicas:            replicas,
+		Logf:                logs.logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l) //nolint:errcheck // closed by cleanup
+	n := &gossipNode{srv: srv, addr: addr, url: "http://" + addr, http: hs, logs: logs}
+	t.Cleanup(n.stop)
+	return n
+}
+
+// With -replicas 1, every designer's owner must push its sealed index to its
+// follower, reads through ANY node — owner, follower, or an outside-set
+// third — must return byte-identical answers for all three engines, and the
+// follower must have answered some of them from its local copy (the fan-out
+// actually happened, it did not just forward everything back to the owner).
+func TestReplicaReadsByteIdenticalAllEngines(t *testing.T) {
+	a := startReplicaNode(t, "node-a", 1, 60*time.Millisecond)
+	b := startReplicaNode(t, "node-b", 0, 60*time.Millisecond) // learns k from gossip
+	c := startReplicaNode(t, "node-c", 0, 60*time.Millisecond)
+	if err := b.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*gossipNode{"node-a": a, "node-b": b, "node-c": c}
+	t.Cleanup(func() { dumpLogsOnFailure(t, byID) })
+
+	// The replication factor is cluster metadata, not per-node config: only A
+	// was flagged, B and C must converge on k=1 through the config entry.
+	waitFor(t, 15*time.Second, "replica factor gossiped to unflagged nodes", func() bool {
+		return b.srv.replicaFactor() == 1 && c.srv.replicaFactor() == 1
+	})
+	// Let membership fully settle (B learns of C's join via gossip) so every
+	// node resolves the same replica set for every designer.
+	waitForMembership(t, 3, a, b, c)
+
+	gossipDatasets(t, a.srv)
+	specs := gossipSpecs()
+	for id, spec := range specs {
+		if err := a.srv.CreateDesigner(id, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := map[string][]float64{
+		"gossip-2d":     {0.5, 0.5},
+		"gossip-exact":  {0.4, 0.3, 0.3},
+		"gossip-approx": {0.4, 0.3, 0.3},
+	}
+
+	for id, q := range queries {
+		set := a.srv.router.ReplicaSet(id, 1)
+		if len(set) != 2 {
+			t.Fatalf("designer %q: replica set %v, want owner+1 follower", id, set)
+		}
+		owner, follower := byID[set[0].ID], byID[set[1].ID]
+
+		// The owner builds; the follower must then receive the pushed copy
+		// (push path, not pull — it was never unreachable).
+		waitFor(t, 60*time.Second, "owner index for "+id, func() bool {
+			entry, ok := owner.srv.shard(id).Get(id)
+			return ok && entry.Status().Status == "ready"
+		})
+		waitFor(t, 30*time.Second, "replica copy of "+id+" on "+set[1].ID, func() bool {
+			return follower.srv.replicas.Generation(id) > 0
+		})
+
+		want, err := owner.srv.Suggest(id, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Byte-identical through every node: the owner's registry, the
+		// follower's replica copy, and the outside node's forward.
+		for _, n := range []*gossipNode{a, b, c} {
+			sameSuggestion(t, id+" via "+n.srv.router.NodeID(), suggestVia(t, n.url, id, q), want)
+		}
+	}
+
+	// At least one read above hit a follower's local copy.
+	total := int64(0)
+	for _, n := range []*gossipNode{a, b, c} {
+		total += n.srv.router.Stats().ReplicaReadsLocal.Load()
+	}
+	if total == 0 {
+		t.Fatal("no read was served from a replica copy; fan-out never engaged")
+	}
+}
+
+// Killing an owner outright (no drain, no goodbye) must fail its designers
+// over by PROMOTING the follower's pushed copy — generation preserved, zero
+// rebuilds — and answers must stay byte-identical, for all three engines.
+func TestOwnerKillPromotesReplicaNoRebuild(t *testing.T) {
+	a := startReplicaNode(t, "node-a", 1, 60*time.Millisecond)
+	b := startReplicaNode(t, "node-b", 0, 60*time.Millisecond)
+	c := startReplicaNode(t, "node-c", 0, 60*time.Millisecond)
+	if err := b.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*gossipNode{"node-a": a, "node-b": b, "node-c": c}
+	t.Cleanup(func() { dumpLogsOnFailure(t, byID) })
+	all := []string{"node-a", "node-b", "node-c"}
+
+	waitFor(t, 15*time.Second, "replica factor gossiped", func() bool {
+		return b.srv.replicaFactor() == 1 && c.srv.replicaFactor() == 1
+	})
+	waitForMembership(t, 3, a, b, c)
+
+	gossipDatasets(t, a.srv)
+	// Every engine mode, every designer owned by node-b — the node we kill.
+	oracle := OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3}
+	specs := map[string]DesignerSpec{
+		nameOwnedBy(t, "promo-2d", "node-b", all...):     {Dataset: "biased", Oracle: oracle, Config: ConfigSpec{Mode: "2d"}},
+		nameOwnedBy(t, "promo-exact", "node-b", all...):  {Dataset: "uniform", Oracle: oracle, Config: ConfigSpec{Mode: "exact", Seed: 4}},
+		nameOwnedBy(t, "promo-approx", "node-b", all...): {Dataset: "uniform", Oracle: oracle, Config: ConfigSpec{Mode: "approx", Cells: 150, MaxHyperplanes: 300, Seed: 4}},
+	}
+	queries := map[string][]float64{}
+	followers := map[string]*gossipNode{}
+	for id, spec := range specs {
+		if strings.HasPrefix(id, "promo-2d") {
+			queries[id] = []float64{0.5, 0.5}
+		} else {
+			queries[id] = []float64{0.4, 0.3, 0.3}
+		}
+		if err := a.srv.CreateDesigner(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		set := a.srv.router.ReplicaSet(id, 1)
+		if set[0].ID != "node-b" {
+			t.Fatalf("designer %q owned by %s, want node-b", id, set[0].ID)
+		}
+		followers[id] = byID[set[1].ID]
+	}
+
+	want := map[string]*Suggestion{}
+	pubGen := map[string]uint64{}
+	for id, q := range queries {
+		waitFor(t, 60*time.Second, "owner index for "+id, func() bool {
+			entry, ok := b.srv.shard(id).Get(id)
+			return ok && entry.Status().Status == "ready"
+		})
+		waitFor(t, 30*time.Second, "replica copy of "+id, func() bool {
+			return followers[id].srv.replicas.Generation(id) > 0
+		})
+		s, err := b.srv.Suggest(id, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = s
+		pub, ok := b.srv.publishedReplica(id)
+		if !ok {
+			t.Fatalf("designer %q has no publication entry", id)
+		}
+		pubGen[id] = pub.Generation
+	}
+
+	// The promote path is only provable if the followers hold nothing in
+	// their registries yet — a warm-standby entry left by an ownership flap
+	// would serve without promoting and void the assertions below.
+	marks := map[string]int{}
+	for id, fol := range followers {
+		if _, ok := fol.srv.shard(id).Get(id); ok {
+			t.Fatalf("follower %s already holds a registry entry for %q before the kill (ownership flapped during setup)",
+				fol.srv.router.NodeID(), id)
+		}
+		marks[id] = fol.logs.mark()
+	}
+
+	// Kill the owner outright: process gone, no drain, no leave.
+	b.stop()
+
+	for id, q := range queries {
+		fol := followers[id]
+		// Reads keep working through the whole failover window: the follower
+		// first answers from its (still-fresh) replica copy, then from the
+		// promoted registry entry. Either way: 200 and byte-identical.
+		sameSuggestion(t, id+" after owner kill", suggestVia(t, fol.url, id, q), want[id])
+
+		// The follower inherits ownership (rendezvous re-rank of the healthy
+		// set) and must ACTIVATE its pushed copy, not rebuild. Wait for the
+		// promotion itself — health detection plus a reconcile tick.
+		waitFor(t, 60*time.Second, "promotion of "+id, func() bool {
+			_, ok := fol.srv.shard(id).Get(id)
+			return ok
+		})
+		sameSuggestion(t, id+" after promotion", suggestVia(t, fol.url, id, q), want[id])
+
+		if !fol.logs.anyAfter(marks[id], fmt.Sprintf("promote: designer %q", id)) {
+			t.Fatalf("no promotion logged for %q on %s; log:\n%s",
+				id, fol.srv.router.NodeID(), strings.Join(fol.logs.lines, "\n"))
+		}
+		if fol.logs.anyAfter(marks[id], fmt.Sprintf("rebuild: designer %q", id)) {
+			t.Fatalf("survivor REBUILT %q instead of promoting; log:\n%s",
+				id, strings.Join(fol.logs.lines, "\n"))
+		}
+		entry, ok := fol.srv.shard(id).Get(id)
+		if !ok {
+			t.Fatalf("promoted designer %q missing from survivor registry", id)
+		}
+		if st := entry.Status(); st.Rebuilds != 0 {
+			t.Fatalf("promoted %q shows %d rebuilds, want 0", id, st.Rebuilds)
+		}
+		if gen := entry.Generation(); gen < pubGen[id] {
+			t.Fatalf("promoted %q at generation %d, below the published %d", id, gen, pubGen[id])
+		}
+	}
+	promotions := int64(0)
+	for _, n := range []*gossipNode{a, c} {
+		promotions += n.srv.router.Stats().ReplicaPromotions.Load()
+	}
+	if promotions < int64(len(specs)) {
+		t.Fatalf("replica promotions = %d, want >= %d", promotions, len(specs))
+	}
+}
+
+// dumpLogsOnFailure prints every node's captured cluster log when the test
+// failed — replica choreography spans three processes, one log is not enough.
+func dumpLogsOnFailure(t *testing.T, nodes map[string]*gossipNode) {
+	if !t.Failed() {
+		return
+	}
+	for id, n := range nodes {
+		n.logs.mu.Lock()
+		t.Logf("=== %s log ===\n%s", id, strings.Join(n.logs.lines, "\n"))
+		n.logs.mu.Unlock()
+	}
+}
+
+// waitForMembership blocks until every node sees the same n-member ring with
+// all peers healthy — the settled state replica-set resolution depends on.
+func waitForMembership(t *testing.T, n int, nodes ...*gossipNode) {
+	t.Helper()
+	waitFor(t, 15*time.Second, "membership convergence", func() bool {
+		want := nodes[0].srv.router.RingVersion()
+		for _, node := range nodes {
+			if node.srv.router.RingVersion() != want || len(node.srv.router.Members()) != n {
+				return false
+			}
+			for _, p := range node.srv.router.Peers() {
+				if !p.Healthy() {
+					return false
+				}
+			}
+		}
+		return true
+	})
 }

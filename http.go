@@ -99,6 +99,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /cluster/meta", s.handleMeta)
 	s.mux.HandleFunc("GET /cluster/handoff/{id}", s.handleHandoffGet)
 	s.mux.HandleFunc("POST /cluster/handoff/{id}", s.handleHandoffPut)
+	s.mux.HandleFunc("POST /cluster/replica/{id}", s.handleReplicaPut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -401,7 +402,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if s.forwardToOwner(w, r, id, body) {
+	if s.routeSuggest(w, r, id, body) {
 		return
 	}
 	var req suggestRequest
@@ -641,18 +642,28 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 // rebuilding.
 func (s *Server) handleHandoffGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	entry, ok := s.shard(id).Get(id)
-	if !ok {
+	var (
+		eng service.Engine
+		gen uint64
+	)
+	if entry, ok := s.shard(id).Get(id); ok {
+		e, err := entry.Engine()
+		if err != nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("designer %q has no servable index here: %w", id, err))
+			return
+		}
+		eng, gen = e, entry.Generation()
+	} else if rep, ok := s.replicas.Get(id); ok {
+		// A follower's replica copy is the same sealed bytes the owner
+		// pushed — good enough to hand off from when the old owner is gone.
+		eng, gen = rep.Engine, rep.Generation
+	} else {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: no index for designer %q on this node", ErrUnknownID, id))
-		return
-	}
-	eng, err := entry.Engine()
-	if err != nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("designer %q has no servable index here: %w", id, err))
 		return
 	}
 	var offset int64
 	if q := r.URL.Query().Get("offset"); q != "" {
+		var err error
 		offset, err = strconv.ParseInt(q, 10, 64)
 		if err != nil || offset < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", q))
@@ -660,8 +671,11 @@ func (s *Server) handleHandoffGet(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	if gen > 0 {
+		w.Header().Set(cluster.GenerationHeader, strconv.FormatUint(gen, 10))
+	}
 	cw := &obs.CountingWriter{W: w}
-	err = eng.SaveIndex(&skipWriter{w: cw, skip: offset})
+	err := eng.SaveIndex(&skipWriter{w: cw, skip: offset})
 	s.router.Stats().HandoffBytesOut.Add(cw.N())
 	if err != nil {
 		// Headers are gone; the truncated stream fails the loader's header
@@ -718,7 +732,8 @@ func (s *Server) handleHandoffPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if _, err := s.shard(id).CreateReady(id, &designerEngine{d: d}, build); err != nil {
+	gen, _ := strconv.ParseUint(r.Header.Get(cluster.GenerationHeader), 10, 64)
+	if _, err := s.shard(id).CreateReadyGen(id, &designerEngine{d: d}, build, gen); err != nil {
 		// An entry already serves (duplicate push, or a build won the race);
 		// the pushed copy is redundant, not wrong.
 		writeJSON(w, http.StatusOK, map[string]any{"id": id, "loaded": false})

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,6 +138,11 @@ func (p *Peer) Forward(w http.ResponseWriter, r *http.Request, from string, body
 		req.Header.Set("Content-Type", ct)
 	}
 	req.Header.Set(ForwardHeader, from)
+	if r.Header.Get(ReplicaFinalHeader) != "" {
+		// A stale follower bouncing a replicated read to the owner: the mark
+		// must survive the hop so the owner serves unconditionally.
+		req.Header.Set(ReplicaFinalHeader, from)
+	}
 	setTrace(r.Context(), req)
 	resp, err := p.client.Do(req)
 	if err != nil {
@@ -234,41 +240,60 @@ func (p *Peer) PushEntries(ctx context.Context, from string, entries []MetaEntry
 // the suffix stitches onto the prefix already received and the section
 // checksums vouch for the result. A peer that holds no ready index answers
 // 404, surfaced as *StatusError; the caller then falls back to rebuilding.
-// The caller must Close the returned stream.
-func (p *Peer) FetchIndex(ctx context.Context, from, id string, offset int64) (io.ReadCloser, error) {
+// The caller must Close the returned stream. gen is the serving generation
+// the source stamped on the stream (its GenerationHeader; 0 on streams from
+// nodes that predate replication), so an index keeps its generation across
+// ownership moves.
+func (p *Peer) FetchIndex(ctx context.Context, from, id string, offset int64) (rc io.ReadCloser, gen uint64, err error) {
 	url := p.member.URL + "/cluster/handoff/" + id
 	if offset > 0 {
 		url += fmt.Sprintf("?offset=%d", offset)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	req.Header.Set(ForwardHeader, from)
 	setTrace(ctx, req)
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if resp.StatusCode/100 != 2 {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		return nil, &StatusError{Peer: p.member.ID, Path: "/cluster/handoff/" + id, Code: resp.StatusCode}
+		return nil, 0, &StatusError{Peer: p.member.ID, Path: "/cluster/handoff/" + id, Code: resp.StatusCode}
 	}
-	return resp.Body, nil
+	gen, _ = strconv.ParseUint(resp.Header.Get(GenerationHeader), 10, 64)
+	return resp.Body, gen, nil
 }
 
 // PushIndex streams index bytes to the peer's POST /cluster/handoff/{id} —
 // the push side of handoff: a draining node hands each of its indexes to the
 // designer's next owner before announcing its leave, so the new owner starts
-// serving without a rebuild.
-func (p *Peer) PushIndex(ctx context.Context, from, id string, body io.Reader) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.member.URL+"/cluster/handoff/"+id, body)
+// serving without a rebuild. gen stamps the stream with its serving
+// generation (0 omits the header).
+func (p *Peer) PushIndex(ctx context.Context, from, id string, gen uint64, body io.Reader) error {
+	return p.postStream(ctx, "/cluster/handoff/"+id, from, gen, body)
+}
+
+// PushReplica streams index bytes to the peer's POST /cluster/replica/{id} —
+// an owner fanning a sealed index out to a follower. Unlike PushIndex the
+// receiver stores the copy in its replica store instead of activating it.
+func (p *Peer) PushReplica(ctx context.Context, from, id string, gen uint64, body io.Reader) error {
+	return p.postStream(ctx, "/cluster/replica/"+id, from, gen, body)
+}
+
+func (p *Peer) postStream(ctx context.Context, path, from string, gen uint64, body io.Reader) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.member.URL+path, body)
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(ForwardHeader, from)
+	if gen > 0 {
+		req.Header.Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	}
 	setTrace(ctx, req)
 	resp, err := p.client.Do(req)
 	if err != nil {
@@ -277,7 +302,7 @@ func (p *Peer) PushIndex(ctx context.Context, from, id string, body io.Reader) e
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return &StatusError{Peer: p.member.ID, Path: "/cluster/handoff/" + id, Code: resp.StatusCode}
+		return &StatusError{Peer: p.member.ID, Path: path, Code: resp.StatusCode}
 	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package cluster
+
+// Read replicas. Each designer resolves to a replica set: the rendezvous
+// owner plus the k next-highest-scoring healthy members (its followers).
+// The owner is the only writer — it builds, rebuilds, and revalidates — and
+// pushes every sealed index to its followers over the handoff stream, then
+// records what followers may serve in a gossiped publication entry
+// ("replica/<designer>"). Followers answer Suggest/SuggestBatch reads only
+// while their copy's generation has caught up with that publication, so a
+// replica read is always byte-identical to the owner's answer; anything
+// staler forwards. docs/REPLICATION.md is the full protocol spec.
+
+const (
+	// ReplicaConfigKey is the gossiped MetaStore entry holding the cluster's
+	// replication factor k (a ReplicaConfig payload). It converges like
+	// membership does: last-writer-wins by version, re-originated by any node
+	// that boots with -replicas set.
+	ReplicaConfigKey = "replicas/config"
+
+	// ReplicaKeyPrefix prefixes per-designer publication entries
+	// ("replica/<designer>", a ReplicaInfo payload): the owner's statement of
+	// which generation followers are allowed to serve. Publication precedes
+	// the index push, so a follower can never serve bytes older than what the
+	// publishing owner serves.
+	ReplicaKeyPrefix = "replica/"
+
+	// GenerationHeader carries an index stream's engine generation on the
+	// handoff and replica endpoints, so a copy keeps its generation across
+	// node boundaries instead of restarting from 1.
+	GenerationHeader = "X-Fairrank-Generation"
+
+	// ReplicaFinalHeader marks the second (and last) hop of a replicated
+	// read: a follower that received an already-forwarded read but holds a
+	// stale copy re-forwards once to the owner with this header set, and the
+	// receiver serves locally unconditionally. Together with ForwardHeader it
+	// bounds any read to two hops.
+	ReplicaFinalHeader = "X-Fairrank-Replica-Final"
+)
+
+// ReplicaMetaKey returns the MetaStore key of a designer's publication entry.
+func ReplicaMetaKey(id string) string { return ReplicaKeyPrefix + id }
+
+// ReplicaConfig is the payload of ReplicaConfigKey.
+type ReplicaConfig struct {
+	// K is the number of followers per designer (0 = owner-only serving).
+	K int `json:"k"`
+}
+
+// ReplicaInfo is the payload of a "replica/<designer>" publication entry.
+type ReplicaInfo struct {
+	// Owner is the node that published (and serves) this generation.
+	Owner string `json:"owner"`
+	// Generation is the owner's engine-swap generation at publish time.
+	// Followers serve only copies at this generation or newer.
+	Generation uint64 `json:"generation"`
+}
+
+// ReadPlan is the routing decision for one replicated read.
+type ReadPlan int
+
+const (
+	// ReadLocalOwner: this node is the set's owner — serve from the registry.
+	ReadLocalOwner ReadPlan = iota
+	// ReadLocalReplica: this node is a follower whose copy has caught up with
+	// the publication — serve the copy.
+	ReadLocalReplica
+	// ReadStaleForward: this node is a follower but its copy lags the
+	// publication (or no generation was ever published) — forward to the
+	// owner rather than risk a stale answer.
+	ReadStaleForward
+	// ReadForwardOwner: this node is outside the set and round-robin chose
+	// the owner.
+	ReadForwardOwner
+	// ReadForwardReplica: this node is outside the set and round-robin chose
+	// a follower.
+	ReadForwardReplica
+)
+
+// PlanRead decides how self should serve a replicated read, given the
+// designer's replica set (owner first), the generation of self's replica copy
+// (0 when it holds none), the published generation (0 when nothing was
+// published), and a round-robin counter for spreading outside-set forwards.
+// The returned member is the forward target for the three forwarding plans
+// and self's own entry otherwise. It is a pure function so the stale-read
+// guard is testable without a cluster.
+func PlanRead(self string, set []Member, localGen, publishedGen, rr uint64) (ReadPlan, Member) {
+	if len(set) == 0 {
+		return ReadForwardOwner, Member{}
+	}
+	owner := set[0]
+	if self == owner.ID {
+		return ReadLocalOwner, owner
+	}
+	for _, m := range set[1:] {
+		if m.ID != self {
+			continue
+		}
+		// The guard: a follower answers only when a publication exists AND
+		// its copy is at least that fresh. localGen > publishedGen is fine —
+		// the copy is newer than the publication (push landed before the
+		// publication entry gossiped here), never older than the owner's.
+		if publishedGen > 0 && localGen >= publishedGen {
+			return ReadLocalReplica, m
+		}
+		return ReadStaleForward, owner
+	}
+	target := set[int(rr%uint64(len(set)))]
+	if target.ID == owner.ID {
+		return ReadForwardOwner, owner
+	}
+	return ReadForwardReplica, target
+}
+
+// ReplicaSet resolves name's replica set among the currently healthy members:
+// the owner first, then up to k followers in rendezvous-score order. With
+// k <= 0 it degenerates to just the owner. Healthy-filtering means a dead
+// owner's first follower IS the new owner every node elects (OwnersFunc
+// re-ranking), which is what makes promotion coordination-free.
+func (rt *Router) ReplicaSet(name string, k int) []Member {
+	if k < 0 {
+		k = 0
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.nodeRing.OwnersFunc(name, k+1, rt.memberHealthy)
+}

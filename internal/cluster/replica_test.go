@@ -1,0 +1,139 @@
+package cluster
+
+import "testing"
+
+// OwnersFunc must agree with OwnerFunc on index 0 for every key and filter:
+// the replica set is the ownership chain, not a separate election.
+func TestOwnersFuncHeadIsOwner(t *testing.T) {
+	r, err := NewRing(members("node-0", "node-1", "node-2", "node-3", "node-4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	notNode2 := func(m Member) bool { return m.ID != "node-2" }
+	for _, k := range keys(500) {
+		for _, eligible := range []func(Member) bool{nil, notNode2} {
+			set := r.OwnersFunc(k, 3, eligible)
+			if len(set) != 3 {
+				t.Fatalf("key %q: want 3 members, got %d", k, len(set))
+			}
+			owner, ok := r.OwnerFunc(k, eligible)
+			if !ok || set[0].ID != owner.ID {
+				t.Fatalf("key %q: set head %s != OwnerFunc %s", k, set[0].ID, owner.ID)
+			}
+		}
+	}
+}
+
+// The re-ranking property failover depends on: filtering out the owner makes
+// the first follower exactly the owner every node elects on the shrunk set.
+// This is what lets a dead owner's follower promote with no coordination.
+func TestOwnersFuncFailoverPromotesFirstFollower(t *testing.T) {
+	r, err := NewRing(members("node-0", "node-1", "node-2", "node-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		set := r.OwnersFunc(k, 4, nil)
+		dead := set[0].ID
+		alive := func(m Member) bool { return m.ID != dead }
+		after := r.OwnersFunc(k, 4, alive)
+		if len(after) != 3 {
+			t.Fatalf("key %q: want 3 survivors, got %d", k, len(after))
+		}
+		for i, m := range after {
+			if m.ID != set[i+1].ID {
+				t.Fatalf("key %q: survivor order changed at %d: %s != %s",
+					k, i, m.ID, set[i+1].ID)
+			}
+		}
+	}
+}
+
+func TestOwnersFuncBounds(t *testing.T) {
+	r, err := NewRing(members("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.OwnersFunc("x", 0, nil); got != nil {
+		t.Errorf("n=0: want nil, got %v", got)
+	}
+	if got := r.OwnersFunc("x", 10, nil); len(got) != 3 {
+		t.Errorf("n>len: want all 3 members, got %d", len(got))
+	}
+	seen := map[string]bool{}
+	for _, m := range r.OwnersFunc("x", 3, nil) {
+		if seen[m.ID] {
+			t.Fatalf("member %s appears twice", m.ID)
+		}
+		seen[m.ID] = true
+	}
+	none := func(Member) bool { return false }
+	if got := r.OwnersFunc("x", 3, none); len(got) != 0 {
+		t.Errorf("no eligible members: want empty, got %v", got)
+	}
+}
+
+// PlanRead is the stale-read guard: a follower may answer only when a
+// publication exists and its local copy has caught up with it. Every other
+// combination must route to a safe server, never a stale answer.
+func TestPlanReadStaleGuard(t *testing.T) {
+	set := []Member{{ID: "owner"}, {ID: "f1"}, {ID: "f2"}}
+	tests := []struct {
+		name             string
+		self             string
+		localGen, pubGen uint64
+		wantPlan         ReadPlan
+		wantTarget       string
+	}{
+		{"owner serves regardless of generations", "owner", 0, 99, ReadLocalOwner, "owner"},
+		{"fresh follower serves", "f1", 5, 5, ReadLocalReplica, "f1"},
+		{"ahead-of-publication follower serves", "f1", 7, 5, ReadLocalReplica, "f1"},
+		{"stale follower forwards to owner", "f1", 4, 5, ReadStaleForward, "owner"},
+		{"follower with copy but no publication forwards", "f2", 3, 0, ReadStaleForward, "owner"},
+		{"follower with neither forwards", "f2", 0, 0, ReadStaleForward, "owner"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			plan, target := PlanRead(tt.self, set, tt.localGen, tt.pubGen, 0)
+			if plan != tt.wantPlan || target.ID != tt.wantTarget {
+				t.Errorf("PlanRead(%s, local=%d, pub=%d) = (%v, %s); want (%v, %s)",
+					tt.self, tt.localGen, tt.pubGen, plan, target.ID, tt.wantPlan, tt.wantTarget)
+			}
+		})
+	}
+}
+
+// An outside-set node must spread reads across the whole replica set (owner
+// included) via the round-robin counter, and label the plan by what it hit.
+func TestPlanReadOutsideSetRoundRobin(t *testing.T) {
+	set := []Member{{ID: "owner"}, {ID: "f1"}, {ID: "f2"}}
+	hit := map[string]int{}
+	for rr := uint64(0); rr < 30; rr++ {
+		plan, target := PlanRead("elsewhere", set, 0, 0, rr)
+		switch target.ID {
+		case "owner":
+			if plan != ReadForwardOwner {
+				t.Fatalf("rr=%d: owner target with plan %v", rr, plan)
+			}
+		case "f1", "f2":
+			if plan != ReadForwardReplica {
+				t.Fatalf("rr=%d: follower target with plan %v", rr, plan)
+			}
+		default:
+			t.Fatalf("rr=%d: target %q outside the set", rr, target.ID)
+		}
+		hit[target.ID]++
+	}
+	for _, m := range set {
+		if hit[m.ID] != 10 {
+			t.Errorf("member %s got %d/30 reads; want an even 10", m.ID, hit[m.ID])
+		}
+	}
+}
+
+func TestPlanReadEmptySet(t *testing.T) {
+	plan, target := PlanRead("self", nil, 0, 0, 0)
+	if plan != ReadForwardOwner || target.ID != "" {
+		t.Errorf("empty set: got (%v, %q); want (ReadForwardOwner, \"\")", plan, target.ID)
+	}
+}

@@ -114,3 +114,44 @@ func (r *Ring) OwnerFunc(key string, eligible func(Member) bool) (Member, bool) 
 	}
 	return best, found
 }
+
+// OwnersFunc returns the n highest-scoring eligible members for key in
+// descending score order: the replica set, with the owner at index 0 and its
+// followers after it. The same re-ranking property as OwnerFunc holds for the
+// whole prefix — removing the owner from the eligible set makes the first
+// follower exactly the owner a ring without that member would elect, which is
+// what lets failover promote a follower with no coordination. Fewer than n
+// eligible members returns all of them.
+func (r *Ring) OwnersFunc(key string, n int, eligible func(Member) bool) []Member {
+	if n <= 0 {
+		return nil
+	}
+	type scored struct {
+		m Member
+		s uint64
+	}
+	top := make([]scored, 0, n)
+	for _, m := range r.members {
+		if eligible != nil && !eligible(m) {
+			continue
+		}
+		s := score(m.ID, key)
+		i := len(top)
+		for i > 0 && s > top[i-1].s {
+			i--
+		}
+		if i >= n {
+			continue
+		}
+		if len(top) < n {
+			top = append(top, scored{})
+		}
+		copy(top[i+1:], top[i:])
+		top[i] = scored{m: m, s: s}
+	}
+	out := make([]Member, len(top))
+	for i, t := range top {
+		out[i] = t.m
+	}
+	return out
+}

@@ -38,6 +38,24 @@ type Stats struct {
 	HandoffResumes atomic.Int64
 	// HandoffNs accumulates wall time spent transferring+loading indexes.
 	HandoffNs atomic.Int64
+
+	// ReplicaPushes / ReplicaPulls count sealed index copies that moved for
+	// replication: pushes by an owner fanning a new generation out to its
+	// followers, pulls by a follower repairing a missed push.
+	ReplicaPushes atomic.Int64
+	ReplicaPulls  atomic.Int64
+	// ReplicaPromotions counts designers activated from a follower's replica
+	// copy after an ownership change — the promote-not-rebuild fast path.
+	ReplicaPromotions atomic.Int64
+	// ReplicaReadsLocal counts Suggest/SuggestBatch reads a follower answered
+	// from its own fresh copy; ReplicaReadsForwarded counts reads this node
+	// fanned out across the replica set. Their ratio is the read fan-out
+	// split.
+	ReplicaReadsLocal     atomic.Int64
+	ReplicaReadsForwarded atomic.Int64
+	// ReplicaStaleForwards counts reads a follower refused to answer because
+	// its copy lagged the published generation — the stale-read guard firing.
+	ReplicaStaleForwards atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of Stats, shaped for JSON.
@@ -54,6 +72,13 @@ type StatsSnapshot struct {
 	HandoffBytesOut     int64 `json:"handoff_bytes_out"`
 	HandoffResumes      int64 `json:"handoff_resumes"`
 	HandoffNsTotal      int64 `json:"handoff_ns_total"`
+
+	ReplicaPushes         int64 `json:"replica_pushes"`
+	ReplicaPulls          int64 `json:"replica_pulls"`
+	ReplicaPromotions     int64 `json:"replica_promotions"`
+	ReplicaReadsLocal     int64 `json:"replica_reads_local"`
+	ReplicaReadsForwarded int64 `json:"replica_reads_forwarded"`
+	ReplicaStaleForwards  int64 `json:"replica_stale_forwards"`
 }
 
 // Snapshot copies the counters (each atomically; the set is not a single
@@ -72,5 +97,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		HandoffBytesOut:     s.HandoffBytesOut.Load(),
 		HandoffResumes:      s.HandoffResumes.Load(),
 		HandoffNsTotal:      s.HandoffNs.Load(),
+
+		ReplicaPushes:         s.ReplicaPushes.Load(),
+		ReplicaPulls:          s.ReplicaPulls.Load(),
+		ReplicaPromotions:     s.ReplicaPromotions.Load(),
+		ReplicaReadsLocal:     s.ReplicaReadsLocal.Load(),
+		ReplicaReadsForwarded: s.ReplicaReadsForwarded.Load(),
+		ReplicaStaleForwards:  s.ReplicaStaleForwards.Load(),
 	}
 }

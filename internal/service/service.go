@@ -153,6 +153,19 @@ func (r *Registry) CreateReady(name string, e Engine, build BuildFunc) (*Entry, 
 	return r.add(name, e, build)
 }
 
+// CreateReadyGen is CreateReady for an engine that already has a history: the
+// entry's generation starts at gen instead of 1 (gen 0 behaves exactly like
+// CreateReady). The cluster layer threads the generation an index was
+// published under through handoffs and replica promotions, so a designer's
+// generation stays monotone across ownership moves instead of resetting.
+func (r *Registry) CreateReadyGen(name string, e Engine, build BuildFunc, gen uint64) (*Entry, error) {
+	entry, err := r.CreateReady(name, e, build)
+	if err == nil {
+		entry.AdvanceGeneration(gen)
+	}
+	return entry, err
+}
+
 func (r *Registry) add(name string, e Engine, build BuildFunc) (*Entry, error) {
 	if name == "" {
 		return nil, errors.New("service: empty designer name")
@@ -351,6 +364,25 @@ func (e *Entry) WaitReady(ctx context.Context) error {
 
 // Name returns the entry's registry name.
 func (e *Entry) Name() string { return e.name }
+
+// Generation returns the entry's engine-swap generation — the cache
+// invalidation epoch reported in StatusInfo, read here without taking the
+// status lock so cluster routing can consult it per request.
+func (e *Entry) Generation() uint64 { return e.generation.Load() }
+
+// AdvanceGeneration raises the generation to at least gen, never lowering
+// it. Rebuilds keep bumping from the new value, so the counter stays
+// monotone. The cluster layer uses this to stamp an index with the
+// generation it was published under (handoff, replica promotion) and to
+// push a rebuilt index's generation past a dead owner's last publication.
+func (e *Entry) AdvanceGeneration(gen uint64) {
+	for {
+		cur := e.generation.Load()
+		if cur >= gen || e.generation.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
 
 // Engine returns the currently serving engine, or ErrNotReady (wrapping the
 // build failure, when one happened) if none is available yet.

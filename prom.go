@@ -144,6 +144,32 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	p.Summary("fairrank_handoff_seconds", "Wall time of index transfers (fetch + load).",
 		float64(st.HandoffNsTotal)/1e9, st.HandoffPulls+st.HandoffPushes)
 
+	p.Gauge("fairrank_replica_factor", "Effective read replicas per designer (gossiped -replicas value).",
+		float64(s.replicaFactor()))
+	p.Counter("fairrank_replica_pushes_total", "Sealed indexes pushed to followers by owners on this node.",
+		float64(st.ReplicaPushes))
+	p.Counter("fairrank_replica_pulls_total", "Missed replica pushes repaired by pulling from the owner.",
+		float64(st.ReplicaPulls))
+	p.Counter("fairrank_replica_promotions_total", "Replica copies activated into serving on ownership change (rebuilds avoided).",
+		float64(st.ReplicaPromotions))
+	p.Counter("fairrank_replica_reads_total", "Suggest reads answered from this node's replica copies.",
+		float64(st.ReplicaReadsLocal), "path", "local")
+	p.Counter("fairrank_replica_reads_total", "Suggest reads fanned out to another member of the replica set.",
+		float64(st.ReplicaReadsForwarded), "path", "forwarded")
+	p.Counter("fairrank_replica_stale_forwards_total", "Reads refused by the stale-read guard and sent to the owner.",
+		float64(st.ReplicaStaleForwards))
+	lags := s.replicaLags()
+	lagIDs := make([]string, 0, len(lags))
+	for id := range lags {
+		lagIDs = append(lagIDs, id)
+	}
+	sort.Strings(lagIDs)
+	for _, id := range lagIDs {
+		p.Gauge("fairrank_replica_lag_generations",
+			"Generations this node's replica copy lags the owner's publication (0 = caught up).",
+			float64(lags[id]), "designer", id)
+	}
+
 	for _, peer := range cm.Peers {
 		p.Counter("fairrank_forwards_total", "Requests proxied to the peer.", float64(peer.Forwards), "peer", peer.ID)
 		p.Counter("fairrank_forward_failures_total", "Proxied requests that failed at the transport.", float64(peer.ForwardFailures), "peer", peer.ID)

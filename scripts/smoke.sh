@@ -5,7 +5,10 @@
 # migrated designer must be loaded from its old owner, never rebuilt), a
 # byte-identical answer through the new owner, a clean SIGTERM drain-leave of
 # the third node, and finally a clean SIGTERM shutdown of the rest with
-# persisted state. CI runs this as its own job; it also works locally:
+# persisted state. A final stage boots a fresh 3-node cluster with
+# -replicas 1, kill -9s a designer's owner mid-traffic, and requires
+# promote-not-rebuild failover with unchanged answers (docs/REPLICATION.md).
+# CI runs this as its own job; it also works locally:
 #
 #   ./scripts/smoke.sh [base-port]
 set -euo pipefail
@@ -13,14 +16,20 @@ set -euo pipefail
 port0="${1:-18080}"
 port1=$((port0 + 1))
 port2=$((port0 + 2))
+port3=$((port0 + 3))
+port4=$((port0 + 4))
+port5=$((port0 + 5))
 base0="http://127.0.0.1:${port0}"
 base1="http://127.0.0.1:${port1}"
 base2="http://127.0.0.1:${port2}"
+base3="http://127.0.0.1:${port3}"
+base4="http://127.0.0.1:${port4}"
+base5="http://127.0.0.1:${port5}"
 workdir="$(mktemp -d)"
 bin="${workdir}/fairrankd"
 
 cleanup() {
-  for p in "${pid0:-}" "${pid1:-}" "${pid2:-}"; do
+  for p in "${pid0:-}" "${pid1:-}" "${pid2:-}" "${pid3:-}" "${pid4:-}" "${pid5:-}" "${traffic_pid:-}"; do
     if [[ -n "$p" ]] && kill -0 "$p" 2>/dev/null; then
       kill -9 "$p" 2>/dev/null || true
     fi
@@ -228,3 +237,151 @@ kill -TERM "$pid0"
 status=0; wait "$pid0" || status=$?
 [[ $status -eq 0 ]] || { echo "restarted node-0 exited with status ${status}" >&2; exit 1; }
 echo "== legacy store migrated on start, answers unchanged: smoke test passed"
+
+# ── Replica stage ─────────────────────────────────────────────────────────
+# A fresh 3-node cluster with -replicas 1: the owner of each designer pushes
+# its sealed index to one follower, reads fan out across both, and kill -9 of
+# the owner mid-traffic must fail over by PROMOTING the follower's copy (no
+# rebuild), with byte-identical answers throughout. See docs/REPLICATION.md.
+echo "== replica stage: starting a 3-node cluster with -replicas 1"
+"$bin" -addr "127.0.0.1:${port3}" -node-id node-r0 -shards 2 -replicas 1 \
+  -peers "node-r1=${base4},node-r2=${base5}" \
+  -anti-entropy 300ms -health-interval 300ms \
+  -data "${workdir}/data-r0" >"${workdir}/node-r0.log" 2>&1 &
+pid3=$!
+"$bin" -addr "127.0.0.1:${port4}" -node-id node-r1 -shards 2 -replicas 1 \
+  -peers "node-r0=${base3},node-r2=${base5}" \
+  -anti-entropy 300ms -health-interval 300ms \
+  -data "${workdir}/data-r1" >"${workdir}/node-r1.log" 2>&1 &
+pid4=$!
+"$bin" -addr "127.0.0.1:${port5}" -node-id node-r2 -shards 2 -replicas 1 \
+  -peers "node-r0=${base3},node-r1=${base4}" \
+  -anti-entropy 300ms -health-interval 300ms \
+  -data "${workdir}/data-r2" >"${workdir}/node-r2.log" 2>&1 &
+pid5=$!
+wait_healthy "$base3" "$pid3" node-r0
+wait_healthy "$base4" "$pid4" node-r1
+wait_healthy "$base5" "$pid5" node-r2
+
+curl -fs -X POST "${base3}/v1/datasets" -H 'Content-Type: application/json' -d '{
+  "id": "smoke",
+  "dataset": {
+    "scoring": ["merit", "impact"],
+    "rows": [[1.00, 0.91], [0.93, 1.02], [0.88, 0.97], [0.96, 0.84],
+             [0.41, 0.33], [0.28, 0.44], [0.36, 0.21], [0.19, 0.30]],
+    "types": [{"name": "group",
+               "labels": ["protected", "other"],
+               "values": [0, 0, 0, 0, 1, 1, 1, 1]}]
+  }
+}' >/dev/null
+rd="replica-designer-0"
+curl -fs -X POST "${base3}/v1/designers?wait=true" -H 'Content-Type: application/json' -d '{
+  "id": "'"$rd"'",
+  "spec": {
+    "dataset": "smoke",
+    "oracle": {"kind": "min_share", "attr": "group", "group": "protected",
+               "top_frac": 0.5, "share": 0.25},
+    "config": {"mode": "2d"}
+  }
+}' | grep -q '"status":"ready"'
+echo "== replica stage: designer built"
+
+curl -fs "${base3}/cluster" | jq -e '.replicas == 1' >/dev/null \
+  || { echo "cluster status does not report replicas=1" >&2; exit 1; }
+
+# Resolve the designer's owner and follower from the cluster status, then
+# map them onto pids/ports.
+node_base() { case "$1" in node-r0) echo "$base3";; node-r1) echo "$base4";; node-r2) echo "$base5";; esac; }
+node_pid()  { case "$1" in node-r0) echo "$pid3";;  node-r1) echo "$pid4";;  node-r2) echo "$pid5";;  esac; }
+owner=""; follower=""
+for _ in $(seq 1 100); do
+  status="$(curl -fs "${base3}/cluster")"
+  owner="$(echo "$status" | jq -r --arg d "$rd" \
+    '.members[] | select(.designers != null and (.designers | index($d))) | .id')"
+  follower="$(echo "$status" | jq -r --arg d "$rd" \
+    '.members[] | select(.replica_for != null and (.replica_for | index($d))) | .id')"
+  [[ -n "$owner" && -n "$follower" ]] && break
+  sleep 0.1
+done
+[[ -n "$owner" && -n "$follower" ]] \
+  || { echo "could not resolve owner/follower for ${rd}" >&2; exit 1; }
+owner_base="$(node_base "$owner")"; owner_pid="$(node_pid "$owner")"
+follower_base="$(node_base "$follower")"
+echo "== replica stage: ${rd} owned by ${owner}, replicated on ${follower}"
+
+# The owner must push the sealed index to its follower (replica metrics).
+pushed=0
+for _ in $(seq 1 100); do
+  pushes="$(curl -fs "${owner_base}/metrics?format=prometheus" \
+    | awk '/^fairrank_replica_pushes_total/ {print $2}')"
+  if [[ -n "$pushes" && "$pushes" != "0" ]]; then pushed=1; break; fi
+  sleep 0.1
+done
+[[ "$pushed" == "1" ]] || { echo "owner never pushed a replica copy" >&2; exit 1; }
+echo "== replica stage: owner pushed the index to its follower"
+
+baseline="$(curl -fs -X POST "${follower_base}/v1/designers/${rd}/suggest" \
+  -H 'Content-Type: application/json' -d "$query")"
+echo "$baseline" | grep -q '"distance"' || { echo "no baseline answer" >&2; exit 1; }
+
+# Keep read traffic flowing through the follower while the owner dies.
+trafficlog="${workdir}/replica-traffic.log"
+( while :; do
+    curl -fs -m 2 -X POST "${follower_base}/v1/designers/${rd}/suggest" \
+      -H 'Content-Type: application/json' -d "$query" >>"$trafficlog" 2>/dev/null || true
+    echo >>"$trafficlog"
+    sleep 0.05
+  done ) &
+traffic_pid=$!
+
+echo "== replica stage: kill -9 the owner (${owner}) mid-traffic"
+kill -9 "$owner_pid"
+
+# Failover must PROMOTE the follower's pushed copy — never rebuild. The slog
+# text format escapes the quotes in the message (msg="... \"id\" ...").
+promote_line='promote: designer \\"'"$rd"'\\" activated'
+follower_log="${workdir}/${follower}.log"
+for _ in $(seq 1 150); do
+  if grep -q "$promote_line" "$follower_log"; then break; fi
+  sleep 0.1
+done
+grep -q "$promote_line" "$follower_log" \
+  || { echo "follower never promoted its replica copy" >&2; cat "$follower_log" >&2; exit 1; }
+if grep -q 'rebuild: designer \\"'"$rd"'\\"' "$follower_log"; then
+  echo "follower rebuilt ${rd} instead of promoting its copy" >&2
+  exit 1
+fi
+echo "== replica stage: promote-not-rebuild verified on ${follower}"
+
+post="$(curl -fs -X POST "${follower_base}/v1/designers/${rd}/suggest" \
+  -H 'Content-Type: application/json' -d "$query")"
+[[ "$post" == "$baseline" ]] \
+  || { echo "post-failover answer differs: ${post} vs ${baseline}" >&2; exit 1; }
+
+kill -9 "$traffic_pid" 2>/dev/null || true
+wait "$traffic_pid" 2>/dev/null || true
+# Every answer the traffic loop got — before, during, and after the kill —
+# must be the same bytes (failed requests leave blank lines, never wrong ones).
+if grep -v -F -x -e "$baseline" -e "" "$trafficlog" | grep -q .; then
+  echo "traffic saw a divergent answer during failover:" >&2
+  grep -v -F -x -e "$baseline" -e "" "$trafficlog" | head -3 >&2
+  exit 1
+fi
+grep -c -F -x "$baseline" "$trafficlog" >/dev/null \
+  || { echo "traffic loop never got an answer" >&2; exit 1; }
+
+# Replica metrics on the promoted follower: a promotion was counted, and the
+# read fan-out series exists with its path split.
+fmetrics="$(curl -fs "${follower_base}/metrics?format=prometheus")"
+promotions="$(echo "$fmetrics" | awk '/^fairrank_replica_promotions_total/ {print $2}')"
+[[ -n "$promotions" && "$promotions" != "0" ]] \
+  || { echo "fairrank_replica_promotions_total is ${promotions:-missing} on the follower" >&2; exit 1; }
+echo "$fmetrics" | grep -q '^fairrank_replica_reads_total{path="local"}' \
+  || { echo "no local replica-read series on the follower" >&2; exit 1; }
+echo "$fmetrics" | grep -q '^fairrank_replica_factor 1' \
+  || { echo "follower does not report replica factor 1" >&2; exit 1; }
+echo "== replica stage: promotion and fan-out metrics verified"
+
+kill -9 "$pid4" "$pid5" 2>/dev/null || true
+[[ "$owner" != "node-r0" ]] && kill -9 "$pid3" 2>/dev/null || true
+echo "== replica stage passed: owner kill survived with zero rebuilds"

@@ -47,6 +47,21 @@ type Server struct {
 	specs    map[string]DesignerSpec
 	pulling  map[string]bool // designer ids with an index handoff/build in flight
 
+	// Read replication (docs/REPLICATION.md). replicas holds the sealed index
+	// copies this node keeps as a follower; replicaK is the effective
+	// replication factor (the -replicas flag, superseded by the gossiped
+	// replicas/config entry); cfgReplicas remembers the flag itself so a
+	// restart re-originates it above any restored version. replicaRR spreads
+	// outside-set reads across the replica set; pushed (under mu) tracks the
+	// last generation successfully pushed per (designer, follower) so the
+	// owner's sync loop is idempotent; replicaBusy coalesces sync passes.
+	replicas    *service.ReplicaStore
+	replicaK    atomic.Int64
+	cfgReplicas int
+	replicaRR   atomic.Uint64
+	pushed      map[string]map[string]uint64
+	replicaBusy atomic.Bool
+
 	// memberMu serializes membership read-modify-originate (join, leave,
 	// force-remove): two concurrent joins through the same node must not
 	// both read the old member list and silently drop each other.
@@ -99,6 +114,14 @@ type ClusterConfig struct {
 	// 0 disables the loop (peers are then marked unhealthy only by failed
 	// forwards, and never recover).
 	HealthInterval time.Duration
+	// Replicas is the number of read replicas (followers) kept per designer
+	// in addition to its owner — the -replicas flag. 0 disables replication
+	// (owner-only serving, the pre-replica behavior). The value is gossiped
+	// as the replicas/config metadata entry, so nodes booted without the flag
+	// adopt the cluster's value; a node booted WITH the flag re-originates it
+	// above every version it has persisted, making the flag authoritative on
+	// restart. See docs/REPLICATION.md.
+	Replicas int
 	// AntiEntropyInterval is the period of the background anti-entropy
 	// pass: each tick the node exchanges a versioned metadata digest with
 	// one random healthy peer and pulls or pushes whatever differs, so a
@@ -155,15 +178,21 @@ func NewClusterServer(cfg ClusterConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		router:    router,
-		meta:      cluster.NewMetaStore(),
-		datasets:  make(map[string]*Dataset),
-		specs:     make(map[string]DesignerSpec),
-		pulling:   make(map[string]bool),
-		advertise: strings.TrimSuffix(cfg.AdvertiseURL, "/"),
-		logf:      cfg.Logf,
-		start:     time.Now(),
-		stopc:     make(chan struct{}),
+		router:      router,
+		meta:        cluster.NewMetaStore(),
+		datasets:    make(map[string]*Dataset),
+		specs:       make(map[string]DesignerSpec),
+		pulling:     make(map[string]bool),
+		replicas:    service.NewReplicaStore(),
+		cfgReplicas: cfg.Replicas,
+		pushed:      make(map[string]map[string]uint64),
+		advertise:   strings.TrimSuffix(cfg.AdvertiseURL, "/"),
+		logf:        cfg.Logf,
+		start:       time.Now(),
+		stopc:       make(chan struct{}),
+	}
+	if cfg.Replicas > 0 {
+		s.originateReplicaConfig(cfg.Replicas)
 	}
 	// Logging: one slog.Logger backs both the structured calls (s.log) and
 	// the legacy printf-style sites (s.logf). A caller-provided Logger wins;
@@ -454,10 +483,18 @@ func (s *Server) DeleteDesigner(id string) error {
 	// ensureOwned), so this order guarantees either the Remove below or the
 	// racer's own re-check evicts the index — never a spec-less zombie.
 	s.meta.Delete(metaKeyDesigner(id))
+	// The publication entry follows the designer into deletion (guarded on
+	// existence so never-replicated designers don't mint spurious tombstones);
+	// followers drop their copies when either tombstone materializes.
+	if _, ok := s.meta.Get(cluster.ReplicaMetaKey(id)); ok {
+		s.meta.Delete(cluster.ReplicaMetaKey(id))
+	}
 	s.mu.Lock()
 	delete(s.specs, id)
+	delete(s.pushed, id)
 	s.mu.Unlock()
 	s.shard(id).Remove(id)
+	s.replicas.Remove(id)
 	return nil
 }
 
@@ -505,6 +542,18 @@ func (s *Server) localEntry(id string) (*service.Entry, error) {
 	build, err := s.builder(spec)
 	if err != nil {
 		return nil, err
+	}
+	// Promote-not-rebuild: a follower that inherited ownership (or must
+	// answer anyway) activates its pushed replica copy instead of rebuilding,
+	// as long as the copy is not stale. Read traffic can land here before the
+	// reconcile tick notices the ownership change, so the check lives on the
+	// activation path too, not just in ensureOwned.
+	if entry, ok := s.promoteReplica(id, build); ok {
+		if s.designerDeleted(id) {
+			reg.Remove(id)
+			return nil, fmt.Errorf("%w: designer %q", ErrUnknownID, id)
+		}
+		return entry, nil
 	}
 	entry, err := reg.Create(id, build)
 	if errors.Is(err, service.ErrDuplicateName) {
@@ -783,10 +832,12 @@ func (s *Server) SaveDir(dir string) error {
 	versions := make([]metaVersionRecord, 0, s.meta.Len())
 	for _, e := range s.meta.Snapshot() {
 		rec := metaVersionRecord{Key: e.Key, Version: e.Version, Deleted: e.Deleted}
-		if e.Key == cluster.RingKey {
-			// The membership payload is tiny and has no manifest file of
-			// its own; persisting it whole lets a restarted node resume on
-			// its last known ring (and at its version, so memberships it
+		if e.Key == cluster.RingKey || e.Key == cluster.ReplicaConfigKey ||
+			strings.HasPrefix(e.Key, cluster.ReplicaKeyPrefix) {
+			// The membership, replica-config, and publication payloads are
+			// tiny and have no manifest file of their own; persisting them
+			// whole lets a restarted node resume on its last known ring and
+			// replication state (and at their versions, so entries it
 			// originates are not silently ignored by peers).
 			rec.Payload = e.Payload
 		}
@@ -876,6 +927,13 @@ func (s *Server) LoadDir(dir string) error {
 			s.meta.Restore(r.Key, r.Version, r.Deleted)
 		}
 	}
+	// A node booted with -replicas set re-originates the factor ABOVE every
+	// restored version, so restarting a node with a new flag value is the
+	// supported way to change k cluster-wide (the higher version wins the
+	// gossip merge everywhere).
+	if s.cfgReplicas > 0 {
+		s.originateReplicaConfig(s.cfgReplicas)
+	}
 	return nil
 }
 
@@ -932,19 +990,27 @@ func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
 // metrics rollup — the body of GET /cluster.
 func (s *Server) ClusterStatus() ClusterStatus {
 	ids := s.DesignerIDs()
-	owned := make(map[string][]string) // member id → designer ids
+	k := s.replicaFactor()
+	owned := make(map[string][]string)      // member id → designer ids
+	replicaFor := make(map[string][]string) // member id → designer ids it follows
 	for _, id := range ids {
 		owner := s.router.Owner(id).ID
 		owned[owner] = append(owned[owner], id)
+		if k > 0 {
+			for _, f := range s.router.ReplicaSet(id, k)[1:] {
+				replicaFor[f.ID] = append(replicaFor[f.ID], id)
+			}
+		}
 	}
 	status := ClusterStatus{
 		NodeID:      s.router.NodeID(),
 		RingVersion: s.router.RingVersion(),
 		MetaEntries: s.meta.Len(),
+		Replicas:    k,
 	}
 	for _, m := range s.router.Members() {
 		ms := MemberStatus{ID: m.ID, URL: m.URL, Self: m.ID == s.router.NodeID(),
-			Healthy: true, Designers: owned[m.ID]}
+			Healthy: true, Designers: owned[m.ID], ReplicaFor: replicaFor[m.ID]}
 		for _, p := range s.router.Peers() {
 			if p.Member().ID == m.ID {
 				ms.Healthy = p.Healthy()

@@ -201,9 +201,13 @@ type ClusterStatus struct {
 	// MetaEntries counts the replicated metadata entries this node holds
 	// (tombstones included) — equal counts across nodes after an
 	// anti-entropy round indicate converged metadata.
-	MetaEntries int            `json:"meta_entries"`
-	Members     []MemberStatus `json:"members"`
-	Shards      []ShardStatus  `json:"shards"`
+	MetaEntries int `json:"meta_entries"`
+	// Replicas is the effective replication factor k (followers per
+	// designer): the -replicas flag as converged through the gossiped
+	// replicas/config entry. 0 means owner-only serving.
+	Replicas int            `json:"replicas"`
+	Members  []MemberStatus `json:"members"`
+	Shards   []ShardStatus  `json:"shards"`
 }
 
 // MemberStatus is one ring member as seen from the reporting node: identity,
@@ -215,6 +219,9 @@ type MemberStatus struct {
 	Healthy   bool     `json:"healthy"`
 	LastError string   `json:"last_error,omitempty"`
 	Designers []string `json:"designers,omitempty"`
+	// ReplicaFor lists the designers this member follows as a read replica
+	// (owner + ReplicaFor partition the read traffic for each designer).
+	ReplicaFor []string `json:"replica_for,omitempty"`
 }
 
 // ShardStatus is one in-process shard registry: the designers it holds and
