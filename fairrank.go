@@ -177,6 +177,13 @@ type Config struct {
 	// RefineQueries makes ModeApprox Suggest calls also consider the
 	// functions of axis-adjacent cells (never worse, O(d log N) extra).
 	RefineQueries bool
+	// RepairChurnFrac bounds how large a dataset patch — removals plus
+	// additions, as a fraction of the pre-patch item count — Patch may
+	// splice into the index incrementally; larger deltas rebuild from
+	// scratch (repair's savings shrink as churn grows, and a rebuild is
+	// always correct). 0 picks the default of DefaultRepairChurnFrac;
+	// negative disables incremental repair entirely.
+	RepairChurnFrac float64
 }
 
 // ErrUnsatisfiable is returned by Suggest when no linear ranking function
@@ -215,6 +222,14 @@ type Designer struct {
 	mode   Mode
 	refine bool
 	eng    engine.Engine
+	// cfg is the build configuration, retained so Patch can rebuild with
+	// identical options when incremental repair does not apply. Loaded
+	// designers start with the zero Config until RestoreConfig.
+	cfg Config
+	// revision identifies the dataset state this designer answers for: the
+	// dataset fingerprint at build time, chained through every patch (see
+	// Patch). Two designers at the same revision answer identically.
+	revision uint64
 	// plan is the adaptive batch planner's feedback state (EWMAs and
 	// counters); the zero value is ready, see SuggestBatch.
 	plan planner.State
@@ -242,7 +257,7 @@ func NewDesigner(ds *Dataset, oracle Oracle, cfg Config) (*Designer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Designer{ds: ds, oracle: oracle, mode: mode, refine: cfg.RefineQueries, eng: eng}, nil
+	return &Designer{ds: ds, oracle: oracle, mode: mode, refine: cfg.RefineQueries, eng: eng, cfg: cfg, revision: ds.Fingerprint()}, nil
 }
 
 // Mode returns the engine the designer is using.

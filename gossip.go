@@ -191,13 +191,31 @@ func (s *Server) materialize(e cluster.MetaEntry) error {
 		if err != nil {
 			return err
 		}
+		rev := spec.Revision
+		if rev == 0 {
+			rev = ds.Fingerprint() // pre-patch peers replicate revision-less specs
+		}
 		s.mu.Lock()
-		if old, ok := s.datasets[id]; ok && old.Fingerprint() == ds.Fingerprint() {
+		old, had := s.datasets[id]
+		if had && old.Fingerprint() == ds.Fingerprint() {
+			s.datasetRevs[id] = rev
 			s.mu.Unlock()
 			return nil // already materialized — idempotent re-apply
 		}
 		s.datasets[id] = ds
+		s.datasetRevs[id] = rev
 		s.mu.Unlock()
+		if had {
+			// The dataset changed under its designers — a PATCH applied on a
+			// peer landed here through replication. Splice the change into
+			// every local index off the apply path (a splice can rebuild, and
+			// materialize runs under applyMu), then let the owner re-push the
+			// patched index to its followers.
+			go func() {
+				s.patchLocalDesigners(id)
+				s.replicaTick()
+			}()
+		}
 		return nil
 
 	case strings.HasPrefix(e.Key, "designer/"):
@@ -312,6 +330,7 @@ func (s *Server) reconcile() {
 	for _, id := range ids {
 		s.ensureOwned(id)
 	}
+	s.repairStale()
 	s.replicaTick()
 }
 
@@ -465,8 +484,8 @@ func (s *Server) fetchIndexResumable(ctx context.Context, src *cluster.Peer, id 
 			return nil, 0, fmt.Errorf("handoff stream broke %d times: %w", maxStreams, rerr)
 		}
 		keep := 0
-		if len(buf) > indexStreamHeaderLen {
-			keep = indexStreamHeaderLen + flatidx.CompletePrefix(buf[indexStreamHeaderLen:])
+		if hdr := indexPayloadOffset(buf); len(buf) > hdr {
+			keep = hdr + flatidx.CompletePrefix(buf[hdr:])
 		}
 		buf = buf[:keep]
 		s.router.Stats().HandoffResumes.Add(1)
@@ -487,7 +506,16 @@ func (s *Server) loadDesignerStream(r io.Reader, spec DesignerSpec) (*Designer, 
 	if err != nil {
 		return nil, err
 	}
-	return LoadDesigner(r, ds, oracle)
+	d, err := LoadDesigner(r, ds, oracle)
+	if err != nil {
+		return nil, err
+	}
+	// Re-arm the designer's build configuration: a streamed index carries no
+	// Config, and a later patch must honor the spec's churn threshold.
+	if cfg, cerr := spec.Config.Build(); cerr == nil {
+		d.RestoreConfig(cfg)
+	}
+	return d, nil
 }
 
 // originateMembership records and applies a new membership locally and

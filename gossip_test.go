@@ -1,6 +1,7 @@
 package fairrank
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -877,4 +878,253 @@ func waitForMembership(t *testing.T, n int, nodes ...*gossipNode) {
 		}
 		return true
 	})
+}
+
+// patchVia applies a dataset patch over HTTP through the given node.
+func patchVia(t *testing.T, url, id string, req patchDatasetRequest) (DatasetPatchResult, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPatch, url+"/v1/datasets/"+id, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out DatasetPatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && resp.StatusCode == http.StatusOK {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+// eqSuggestion is sameSuggestion without the Fatalf, for waitFor polling.
+func eqSuggestion(got suggestionJSON, want *Suggestion) bool {
+	if got.Distance != want.Distance || got.AlreadyFair != want.AlreadyFair || len(got.Weights) != len(want.Weights) {
+		return false
+	}
+	for k := range want.Weights {
+		if got.Weights[k] != want.Weights[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Datasets have no ring owner, so a PATCH lands on whichever node receives
+// it — here deliberately NOT the node that created the dataset — applies
+// locally, and replicates the new revision through the metadata channels.
+// Both nodes must converge on the same chained revision, and the designer
+// over the patched dataset must answer byte-identically to a from-scratch
+// build over the same data, through either node. The serving owner built its
+// index in-process, so the splice must take the incremental repair path.
+func TestPatchThroughNonCreatorConvergesCluster(t *testing.T) {
+	a := startGossipNode(t, "node-a", nil, 60*time.Millisecond)
+	b := startGossipNode(t, "node-b", nil, 60*time.Millisecond)
+	if err := b.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	waitForMembership(t, 2, a, b)
+	gossipDatasets(t, a.srv)
+	id := "patch-conv-2d"
+	spec := DesignerSpec{
+		Dataset: "biased",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "2d"},
+	}
+	if err := a.srv.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.6, 0.4}
+	waitFor(t, 60*time.Second, "designer servable through both nodes", func() bool {
+		var got suggestionJSON
+		return postJSON(t, a.url+"/v1/designers/"+id+"/suggest", suggestRequest{Weights: q}, &got) == http.StatusOK &&
+			postJSON(t, b.url+"/v1/designers/"+id+"/suggest", suggestRequest{Weights: q}, &got) == http.StatusOK
+	})
+	waitFor(t, 15*time.Second, "dataset replicated to B", func() bool {
+		_, ok := b.srv.Dataset("biased")
+		return ok
+	})
+
+	// The same delta, expressed as the wire request and as the local delta
+	// for the reference rebuild.
+	req := patchDatasetRequest{
+		Remove: []int{0, 3},
+		Add:    []patchItemSpec{{Row: []float64{0.55, 0.44}, Types: map[string]string{"group": "protected"}}},
+	}
+	delta := DatasetDelta{
+		Removed: req.Remove,
+		Added:   []PatchItem{{Row: req.Add[0].Row, Types: req.Add[0].Types}},
+	}
+	res, code := patchVia(t, b.url, "biased", req)
+	if code != http.StatusOK {
+		t.Fatalf("PATCH via B: HTTP %d", code)
+	}
+
+	biased, err := datagen.Biased(80, 2, 0.5, 0.3, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := ApplyDelta(biased, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != patched.N() {
+		t.Fatalf("patched item count %d, want %d", res.N, patched.N())
+	}
+	fresh, err := NewDesigner(patched, patchOracle(t, patched), Config{Mode: Mode2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Satisfiable() {
+		t.Skip("patched instance unsatisfiable (generator quirk)")
+	}
+	want, err := fresh.Suggest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 15*time.Second, "revision convergence on both nodes", func() bool {
+		ra, _ := a.srv.DatasetRevision("biased")
+		rb, _ := b.srv.DatasetRevision("biased")
+		return ra == res.Revision && rb == res.Revision
+	})
+	for _, n := range []*gossipNode{a, b} {
+		node := n
+		waitFor(t, 60*time.Second, "patched answers via "+node.srv.router.NodeID(), func() bool {
+			var got suggestionJSON
+			if postJSON(t, node.url+"/v1/designers/"+id+"/suggest", suggestRequest{Weights: q}, &got) != http.StatusOK {
+				return false
+			}
+			return eqSuggestion(got, want)
+		})
+		sameSuggestion(t, "patched "+id+" via "+node.srv.router.NodeID(), suggestVia(t, node.url, id, q), want)
+	}
+	// The owner held an in-process index and the churn (3 of 80) is under
+	// the default threshold: the splice must have repaired, not rebuilt.
+	if !a.logs.any("repaired in place") && !b.logs.any("repaired in place") {
+		t.Fatalf("no node repaired the index in place; logs:\n%s\n%s",
+			strings.Join(a.logs.lines, "\n"), strings.Join(b.logs.lines, "\n"))
+	}
+}
+
+// The failover seam of mutability: an owner dies, its follower promotes the
+// replicated (pre-patch) index copy, and only then does a patch land on the
+// dataset. The promoted index is now stale — reconcile's detect-and-patch
+// sweep must notice the fingerprint mismatch and splice the promoted entry
+// forward to the patched revision, without any request touching it.
+func TestPromotedReplicaRepairsToPatchedRevision(t *testing.T) {
+	a := startReplicaNode(t, "node-a", 1, 60*time.Millisecond)
+	b := startReplicaNode(t, "node-b", 0, 60*time.Millisecond)
+	c := startReplicaNode(t, "node-c", 0, 60*time.Millisecond)
+	if err := b.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.srv.JoinCluster(t.Context(), a.url); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*gossipNode{"node-a": a, "node-b": b, "node-c": c}
+	t.Cleanup(func() { dumpLogsOnFailure(t, byID) })
+
+	waitFor(t, 15*time.Second, "replica factor gossiped", func() bool {
+		return b.srv.replicaFactor() == 1 && c.srv.replicaFactor() == 1
+	})
+	waitForMembership(t, 3, a, b, c)
+	gossipDatasets(t, a.srv)
+
+	id := nameOwnedBy(t, "patched-promo", "node-b", "node-a", "node-b", "node-c")
+	spec := DesignerSpec{
+		Dataset: "biased",
+		Oracle:  OracleSpec{Kind: "min_share", Attr: "group", Group: "protected", TopFrac: 0.25, Share: 0.3},
+		Config:  ConfigSpec{Mode: "2d"},
+	}
+	if err := a.srv.CreateDesigner(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	set := a.srv.router.ReplicaSet(id, 1)
+	if set[0].ID != "node-b" || len(set) != 2 {
+		t.Fatalf("replica set %v, want node-b plus one follower", set)
+	}
+	follower := byID[set[1].ID]
+
+	q := []float64{0.6, 0.4}
+	waitFor(t, 60*time.Second, "owner index built", func() bool {
+		entry, ok := b.srv.shard(id).Get(id)
+		return ok && entry.Status().Status == "ready"
+	})
+	waitFor(t, 30*time.Second, "replica copy pushed to follower", func() bool {
+		return follower.srv.replicas.Generation(id) > 0
+	})
+	wantOld, err := b.srv.Suggest(id, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner dies outright; the follower promotes its pre-patch copy.
+	b.stop()
+	waitFor(t, 60*time.Second, "promotion on the follower", func() bool {
+		_, ok := follower.srv.shard(id).Get(id)
+		return ok
+	})
+	sameSuggestion(t, "promoted pre-patch "+id, suggestVia(t, follower.url, id, q), wantOld)
+
+	// The dataset moves on AFTER the promotion: the promoted index is stale
+	// the moment this patch replicates.
+	req := patchDatasetRequest{
+		Remove: []int{1, 5},
+		Add:    []patchItemSpec{{Row: []float64{0.35, 0.71}, Types: map[string]string{"group": "majority"}}},
+	}
+	res, code := patchVia(t, a.url, "biased", req)
+	if code != http.StatusOK {
+		t.Fatalf("PATCH via A: HTTP %d", code)
+	}
+
+	biased, err := datagen.Biased(80, 2, 0.5, 0.3, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := ApplyDelta(biased, DatasetDelta{
+		Removed: req.Remove,
+		Added:   []PatchItem{{Row: req.Add[0].Row, Types: req.Add[0].Types}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshD, err := NewDesigner(patched, patchOracle(t, patched), Config{Mode: Mode2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Detect-and-patch: the promoted entry must reach the patched revision —
+	// the same chained value the patching node reported — through reconcile's
+	// sweep alone.
+	waitFor(t, 60*time.Second, "promoted index spliced to the patched revision", func() bool {
+		entry, ok := follower.srv.shard(id).Get(id)
+		if !ok {
+			return false
+		}
+		eng, err := entry.Engine()
+		if err != nil {
+			return false
+		}
+		de, ok := eng.(*designerEngine)
+		return ok && de.d.Revision() == res.Revision
+	})
+	rf, _ := follower.srv.DatasetRevision("biased")
+	if rf != res.Revision {
+		t.Fatalf("follower dataset revision %#x, want %#x", rf, res.Revision)
+	}
+	if freshD.Satisfiable() {
+		want, err := freshD.Suggest(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSuggestion(t, "repaired promoted "+id, suggestVia(t, follower.url, id, q), want)
+	}
 }

@@ -21,6 +21,10 @@ import (
 //
 //	POST /v1/datasets                     {"id": ..., "dataset": DatasetSpec}
 //	GET  /v1/datasets                     → {"datasets": [ids]}
+//	PATCH /v1/datasets/{id}               {"remove": [indices], "add": [{"row": [...], "types": {...}}]}
+//	                                        → applies the delta, splices every local designer index
+//	                                        (incremental repair below the churn threshold, rebuild
+//	                                        above), replicates the new revision cluster-wide
 //	POST /v1/designers                    {"id": ..., "spec": DesignerSpec}
 //	GET  /v1/designers                    → {"designers": [ids]}
 //	GET  /v1/designers/{id}/status        → service.StatusInfo
@@ -86,6 +90,7 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("PATCH /v1/datasets/{id}", s.handlePatchDataset)
 	s.mux.HandleFunc("POST /v1/designers", s.handleCreateDesigner)
 	s.mux.HandleFunc("GET /v1/designers", s.handleListDesigners)
 	s.mux.HandleFunc("GET /v1/designers/{id}/status", s.handleDesignerStatus)
@@ -284,6 +289,51 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.DatasetIDs()})
+}
+
+// patchDatasetRequest is the body of PATCH /v1/datasets/{id}: pre-patch item
+// indices to remove (strictly ascending) and items to append.
+type patchDatasetRequest struct {
+	Remove []int           `json:"remove,omitempty"`
+	Add    []patchItemSpec `json:"add,omitempty"`
+}
+
+// patchItemSpec is one appended item: its scoring row and a label for every
+// type attribute of the dataset.
+type patchItemSpec struct {
+	Row   []float64         `json:"row"`
+	Types map[string]string `json:"types,omitempty"`
+}
+
+// handlePatchDataset mutates a dataset in place, cluster-wide. Any node takes
+// the patch — datasets have no owner; every node holds a copy — applies it
+// locally (splicing the designer indexes it serves), and replicates the
+// patched spec so every peer converges by running the same splice. A patch
+// through a non-owner therefore reaches the designer's owner via the metadata
+// channel, not request forwarding.
+func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req patchDatasetRequest
+	if !decodeRaw(w, body, &req) {
+		return
+	}
+	delta := DatasetDelta{Removed: req.Remove}
+	for _, it := range req.Add {
+		delta.Added = append(delta.Added, PatchItem{Row: it.Row, Types: it.Types})
+	}
+	res, err := s.PatchDataset(id, delta)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if r.Header.Get(cluster.ForwardHeader) == "" {
+		s.replicateMetaKey(r.Context(), metaKeyDataset(id))
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleCreateDesigner(w http.ResponseWriter, r *http.Request) {
@@ -776,6 +826,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"node_id":        clusterStatus.NodeID,
 		"shards":         clusterStatus.Shards,
 		"cluster":        s.clusterMetrics(),
+		"patches": map[string]int64{
+			"datasets":          s.patchTotal.Load(),
+			"designer_repairs":  s.patchRepairs.Load(),
+			"designer_rebuilds": s.patchRebuilds.Load(),
+		},
 	})
 }
 

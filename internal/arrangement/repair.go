@@ -1,0 +1,111 @@
+package arrangement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairrank/internal/geom"
+)
+
+// Incremental hyperplane repair: BuildHyperplanes is the dominant offline
+// cost of the arrangement pipeline (one HYPERPOLAR fit — null-space basis,
+// matrix solves, allocations — per non-dominating pair, Θ(n²) fits), yet a
+// dataset patch invalidates only the pairs that touch a removed or added
+// item. RepairHyperplanes reproduces the exact output of
+//
+//	hs, _ := BuildHyperplanes(items)
+//	total := len(hs)
+//	ShuffleHyperplanes(hs, rng)
+//	hs = hs[:maxH]   // when capped
+//
+// while fitting only the pairs it cannot reuse from a previous build. Two
+// properties make the reuse sound:
+//
+//  1. HyperPolar is a deterministic, rng-free function of the two item
+//     value vectors, so a hyperplane fitted for a surviving pair in the old
+//     build is bit-identical to the one a rebuild would fit.
+//  2. rng.Shuffle's consumption of the rng stream depends only on the slice
+//     length, so shuffling the pair list (no hyperplanes materialized yet)
+//     leaves the rng in exactly the state the rebuild's shuffle would —
+//     every LP draw the arrangement construction makes afterwards matches.
+
+// Pair identifies one ordering-exchange pair of item indices, I < J.
+type Pair struct{ I, J int }
+
+// ExchangePairs lists the pairs BuildHyperplanes would fit, in the same
+// row-major order, without fitting anything. The predicate is the exact
+// dominance/duplicate filter of BuildHyperplanes inlined to avoid the
+// temporary difference vector, so the pair list (and therefore the shuffle
+// below) matches the rebuild bit for bit.
+func ExchangePairs(items []geom.Vector) []Pair {
+	n := len(items)
+	// One upfront allocation at the worst-case pair count: the append loop
+	// below would otherwise regrow through ~20 doublings for large n, and the
+	// copying shows up as a measurable fraction of the whole repair.
+	pairs := make([]Pair, 0, n*(n-1)/2)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			if hasExchange(items[i], items[j]) {
+				pairs = append(pairs, Pair{I: i, J: j})
+			}
+		}
+	}
+	return pairs
+}
+
+// hasExchange replicates the BuildHyperplanes filter: the two Dominates
+// calls are the very same function (identical comparisons), and the
+// duplicate test inlines Sub().IsZero() to skip the temporary difference
+// vector — math.Abs(a[k]−b[k]) > Eps is IsZero's own comparison on the
+// value Sub would have stored.
+func hasExchange(a, b geom.Vector) bool {
+	if geom.Dominates(a, b) || geom.Dominates(b, a) {
+		return false
+	}
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > geom.Eps {
+			return true
+		}
+	}
+	return false
+}
+
+// ShufflePairs applies the same permutation ShuffleHyperplanes would apply
+// to a hyperplane slice of equal length, consuming the identical rng stream.
+func ShufflePairs(ps []Pair, rng *rand.Rand) {
+	rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+}
+
+// RepairHyperplanes rebuilds the (shuffled, capped) hyperplane list over the
+// patched items, reusing previously fitted hyperplanes where possible. reuse
+// maps a pair of patched-dataset item indices to the hyperplane fitted for
+// the same two item values in a previous build (callers remap old I/J tags
+// through the delta before constructing it). total is the pre-cap pair
+// count |H|; maxH ≤ 0 means uncapped. The returned slice, the rng state on
+// return, and total are all bit-identical to the rebuild sequence in the
+// package comment above.
+func RepairHyperplanes(items []geom.Vector, reuse map[Pair]geom.Hyperplane, rng *rand.Rand, maxH int) (hs []geom.Hyperplane, total int, reused int, err error) {
+	pairs := ExchangePairs(items)
+	total = len(pairs)
+	ShufflePairs(pairs, rng)
+	if maxH > 0 && len(pairs) > maxH {
+		pairs = pairs[:maxH]
+	}
+	hs = make([]geom.Hyperplane, 0, len(pairs))
+	for _, p := range pairs {
+		if h, ok := reuse[p]; ok {
+			h.I, h.J = p.I, p.J
+			hs = append(hs, h)
+			reused++
+			continue
+		}
+		h, err := HyperPolar(items[p.I], items[p.J])
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("arrangement: pair (%d,%d): %w", p.I, p.J, err)
+		}
+		h.I, h.J = p.I, p.J
+		hs = append(hs, h)
+	}
+	return hs, total, reused, nil
+}

@@ -69,6 +69,13 @@ type Approx struct {
 	MarkStats   MarkStats
 	ColorStats  ColorStats
 	OracleCalls int
+	// Retained build state for incremental repair (see Repair). In-memory
+	// only: loaded indexes report repairable == false (a persisted stream
+	// keeps just the queryable grid), as do PruneTopK builds (the candidate
+	// set is a global property a delta can reshape arbitrarily).
+	buildN     int
+	buildOpts  Options
+	repairable bool
 }
 
 // Preprocess runs the full offline pipeline of §5 over the dataset: build
@@ -76,6 +83,28 @@ type Approx struct {
 // assign hyperplanes to cells, mark cells intersecting satisfactory
 // regions, and color the rest.
 func Preprocess(ds *dataset.Dataset, oracle fairness.Oracle, n int, opt Options) (*Approx, error) {
+	return preprocessWith(ds, oracle, n, opt, func(items []geom.Vector, rng *rand.Rand) ([]geom.Hyperplane, error) {
+		hps, err := arrangement.BuildHyperplanes(items)
+		if err != nil {
+			return nil, err
+		}
+		arrangement.ShuffleHyperplanes(hps, rng)
+		if opt.MaxHyperplanes > 0 && len(hps) > opt.MaxHyperplanes {
+			hps = hps[:opt.MaxHyperplanes]
+		}
+		return hps, nil
+	})
+}
+
+// preprocessWith is Preprocess with the hyperplane-construction stage
+// injected: buildHps receives the item vectors and the build rng and returns
+// the shuffled, capped hyperplane list. Preprocess passes the from-scratch
+// HYPERPOLAR builder; Repair passes one that reuses every hyperplane whose
+// pair survived the patch. Both must leave the rng in the same state (their
+// shuffles permute equal-length lists), so everything downstream — the LP
+// draws of MARKCELL's per-cell arrangements seeded from rng.Int63() — replays
+// identically.
+func preprocessWith(ds *dataset.Dataset, oracle fairness.Oracle, n int, opt Options, buildHps func(items []geom.Vector, rng *rand.Rand) ([]geom.Hyperplane, error)) (*Approx, error) {
 	if ds.D() < 2 {
 		return nil, fmt.Errorf("cells: need at least 2 scoring attributes, got %d", ds.D())
 	}
@@ -93,13 +122,9 @@ func Preprocess(ds *dataset.Dataset, oracle fairness.Oracle, n int, opt Options)
 			items = append(items, ds.Item(i))
 		}
 	}
-	hps, err := arrangement.BuildHyperplanes(items)
+	hps, err := buildHps(items, rng)
 	if err != nil {
 		return nil, err
-	}
-	arrangement.ShuffleHyperplanes(hps, rng)
-	if opt.MaxHyperplanes > 0 && len(hps) > opt.MaxHyperplanes {
-		hps = hps[:opt.MaxHyperplanes]
 	}
 	a.Hyperplanes = hps
 	a.Times.BuildHyperplanes = time.Since(start)
@@ -140,6 +165,9 @@ func Preprocess(ds *dataset.Dataset, oracle fairness.Oracle, n int, opt Options)
 	a.Times.Color = time.Since(start)
 
 	a.OracleCalls = int(oracleCalls.Load())
+	a.buildN = n
+	a.buildOpts = opt
+	a.repairable = opt.PruneTopK == 0
 	return a, nil
 }
 

@@ -69,6 +69,12 @@ type MDIndex struct {
 	// deterministic across calls and across save/load, and makes Baseline
 	// safe for concurrent use (no shared rand.Rand state).
 	querySeed int64
+	// Retained build state for incremental repair (see Repair). In-memory
+	// only: loaded indexes report repairable == false (a persisted stream
+	// keeps just the queryable arrangement), as do PruneTopK builds (the
+	// candidate set is a global property a delta can reshape arbitrarily).
+	buildOpts  Options
+	repairable bool
 }
 
 // SatRegions is Algorithm 4: build ordering-exchange hyperplanes for every
@@ -120,6 +126,8 @@ func SatRegions(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*MDIn
 		DS:              ds,
 		HyperplaneCount: total,
 		querySeed:       opt.Seed + 1,
+		buildOpts:       opt,
+		repairable:      opt.PruneTopK == 0,
 	}
 	counter := &fairness.Counter{O: oracle}
 	if opt.IncrementalLabeling {

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Delta describes a dataset patch: items removed by their pre-patch index
+// and items appended after the survivors. Removals preserve the relative
+// order of the surviving items and additions always land at the tail, so a
+// patched dataset's item i < n−len(Added) is the i-th survivor of the old
+// dataset — the invariant every engine repair kernel leans on.
+type Delta struct {
+	// Removed lists pre-patch item indices in strictly ascending order.
+	Removed []int
+	// Added lists the items appended after the survivors.
+	Added []AddItem
+}
+
+// AddItem is one appended item: its scoring row plus a category label for
+// every type attribute of the dataset (fairness oracles read type
+// attributes, so an item cannot join without declaring its groups).
+type AddItem struct {
+	Row   []float64
+	Types map[string]string
+}
+
+// Size is the churn of the delta: removals plus additions. The repair-vs-
+// rebuild decision compares it against a fraction of the dataset size.
+func (d Delta) Size() int { return len(d.Removed) + len(d.Added) }
+
+// Empty reports a delta that changes nothing.
+func (d Delta) Empty() bool { return d.Size() == 0 }
+
+// Validate checks the delta against the dataset it would patch: removals in
+// range, strictly ascending, no duplicates; every added row of dimension d;
+// every added item labeling every type attribute with a known label.
+func (d Delta) Validate(ds *Dataset) error {
+	prev := -1
+	for _, r := range d.Removed {
+		if r < 0 || r >= ds.N() {
+			return fmt.Errorf("dataset: patch removes item %d, dataset has %d items", r, ds.N())
+		}
+		if r <= prev {
+			return fmt.Errorf("dataset: patch removals not strictly ascending at index %d", r)
+		}
+		prev = r
+	}
+	for k, add := range d.Added {
+		if len(add.Row) != ds.D() {
+			return fmt.Errorf("dataset: patch item %d has %d values, want %d", k, len(add.Row), ds.D())
+		}
+		for _, ta := range ds.TypeAttrs() {
+			label, ok := add.Types[ta.Name]
+			if !ok {
+				return fmt.Errorf("dataset: patch item %d missing type attribute %q", k, ta.Name)
+			}
+			if labelIndex(ta.Labels, label) < 0 {
+				return fmt.Errorf("dataset: patch item %d has unknown label %q for type %q", k, label, ta.Name)
+			}
+		}
+	}
+	if ds.N()-len(d.Removed)+len(d.Added) < 2 {
+		return fmt.Errorf("dataset: patch would leave %d items; need at least 2",
+			ds.N()-len(d.Removed)+len(d.Added))
+	}
+	return nil
+}
+
+func labelIndex(labels []string, label string) int {
+	for i, l := range labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// Apply builds the patched dataset: the survivors of ds in their original
+// order followed by the added items. ds is untouched (datasets stay
+// immutable-after-construction; a patch is a new dataset with a new
+// fingerprint).
+func Apply(ds *Dataset, delta Delta) (*Dataset, error) {
+	if err := delta.Validate(ds); err != nil {
+		return nil, err
+	}
+	removed := make(map[int]bool, len(delta.Removed))
+	for _, r := range delta.Removed {
+		removed[r] = true
+	}
+	n := ds.N() - len(delta.Removed) + len(delta.Added)
+	rows := make([][]float64, 0, n)
+	for i := 0; i < ds.N(); i++ {
+		if !removed[i] {
+			rows = append(rows, ds.Item(i))
+		}
+	}
+	for _, add := range delta.Added {
+		rows = append(rows, add.Row)
+	}
+	out, err := New(ds.ScoringNames(), rows)
+	if err != nil {
+		return nil, err
+	}
+	for _, ta := range ds.TypeAttrs() {
+		vals := make([]int, 0, n)
+		for i, v := range ta.Values {
+			if !removed[i] {
+				vals = append(vals, v)
+			}
+		}
+		for _, add := range delta.Added {
+			vals = append(vals, labelIndex(ta.Labels, add.Types[ta.Name]))
+		}
+		if err := out.AddTypeAttr(ta.Name, ta.Labels, vals); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Diff recovers a Delta turning old into new, assuming new was derived from
+// old by removing some items and appending others (the shape every Apply
+// produces). It reports ok=false when the two datasets have different
+// schemas (scoring names or type attributes) — there is no delta between
+// different universes. Matching is greedy on exact float bits and type
+// values: the survivors of old must appear as a prefix-ordered subsequence
+// of new; whatever of new is left past the last match is the addition tail.
+// Applying the returned delta to old always reproduces new exactly.
+func Diff(old, new *Dataset) (Delta, bool) {
+	if old.D() != new.D() {
+		return Delta{}, false
+	}
+	for k, name := range old.ScoringNames() {
+		if new.ScoringNames()[k] != name {
+			return Delta{}, false
+		}
+	}
+	if len(old.TypeAttrs()) != len(new.TypeAttrs()) {
+		return Delta{}, false
+	}
+	for k, ta := range old.TypeAttrs() {
+		tb := new.TypeAttrs()[k]
+		if ta.Name != tb.Name || len(ta.Labels) != len(tb.Labels) {
+			return Delta{}, false
+		}
+		for l, label := range ta.Labels {
+			if tb.Labels[l] != label {
+				return Delta{}, false
+			}
+		}
+	}
+	sameItem := func(i, j int) bool {
+		a, b := old.Item(i), new.Item(j)
+		for k := range a {
+			if math.Float64bits(a[k]) != math.Float64bits(b[k]) {
+				return false
+			}
+		}
+		for k, ta := range old.TypeAttrs() {
+			if ta.Values[i] != new.TypeAttrs()[k].Values[j] {
+				return false
+			}
+		}
+		return true
+	}
+	var delta Delta
+	j := 0
+	for i := 0; i < old.N(); i++ {
+		if j < new.N() && sameItem(i, j) {
+			j++
+		} else {
+			delta.Removed = append(delta.Removed, i)
+		}
+	}
+	for ; j < new.N(); j++ {
+		add := AddItem{Row: append([]float64(nil), new.Item(j)...), Types: map[string]string{}}
+		for _, ta := range new.TypeAttrs() {
+			add.Types[ta.Name] = ta.Labels[ta.Values[j]]
+		}
+		delta.Added = append(delta.Added, add)
+	}
+	// Greedy matching can misattribute an unmatched survivor as removed and
+	// re-add it in the tail; the delta still reproduces new exactly, so the
+	// only consistency check needed is the one Validate enforces anyway.
+	sort.Ints(delta.Removed) // already ascending by construction; keep the invariant explicit
+	return delta, true
+}
+
+// ChainFingerprint folds the previous revision fingerprint and the patched
+// dataset's content fingerprint into the next revision fingerprint. Chaining
+// makes a revision identify not just a dataset state but the patch lineage
+// that reached it, so two nodes agree on a revision exactly when they saw
+// the same patches in the same order.
+func ChainFingerprint(prev, fp uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], prev)
+	binary.LittleEndian.PutUint64(buf[8:], fp)
+	h.Write(buf[:])
+	return h.Sum64()
+}

@@ -10,6 +10,7 @@ package engine_test
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -399,5 +400,197 @@ func TestConformancePersistRoundTrip(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Patchable conformance: every engine adapter implements engine.Patchable,
+// and Repair must be observationally identical to a from-scratch build over
+// the patched dataset with the same options — Satisfiable, QualityBound,
+// and Suggest all bit for bit. (The grid engine's mark phase is serial in
+// this fixture; byte-equality of a repair is only defined for Workers <= 1,
+// same as for two independent rebuilds.)
+func TestConformancePatchableRepairMatchesRebuild(t *testing.T) {
+	const seed = 17
+	fx := buildFixture(t, seed)
+	delta := dataset.Delta{
+		Removed: []int{3, 41},
+		Added: []dataset.AddItem{
+			{Row: []float64{0.62, 0.31}, Types: map[string]string{"group": "protected"}},
+			{Row: []float64{0.18, 0.77}, Types: map[string]string{"group": "majority"}},
+		},
+	}
+	patched, err := dataset.Apply(fx.ds, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := fairness.MinShare(patched, "group", "protected", 0.2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := engine.Delta{Removed: delta.Removed, Added: len(delta.Added)}
+
+	sweep, err := twod.RaySweep(patched, oracle, twod.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := core.SatRegions(patched, oracle, core.Options{UseTree: true, Seed: seed, IncrementalLabeling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := cells.Preprocess(patched, oracle, 500, cells.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := map[string]engine.Engine{
+		"2d":     twod.NewEngine(sweep),
+		"exact":  core.NewEngine(md),
+		"approx": cells.NewEngine(approx, false),
+	}
+
+	queries := queryFan(25, 1.5)
+	// Snapshot the receivers' pre-repair answers: Repair must not disturb
+	// the serving index it derives from.
+	type snap struct {
+		w    geom.Vector
+		dist float64
+		err  bool
+	}
+	before := map[string][]snap{}
+	for name, e := range fx.engines {
+		for _, q := range queries {
+			w, dist, err := e.Suggest(q)
+			before[name] = append(before[name], snap{w, dist, err != nil})
+		}
+	}
+
+	for name, e := range fx.engines {
+		p, ok := e.(engine.Patchable)
+		if !ok {
+			t.Fatalf("engine %s does not implement engine.Patchable", name)
+		}
+		repaired, err := p.Repair(patched, oracle, ed)
+		if err != nil {
+			t.Fatalf("engine %s repair: %v", name, err)
+		}
+		want := fresh[name]
+		if repaired.Satisfiable() != want.Satisfiable() {
+			t.Fatalf("engine %s: repaired satisfiable=%v, rebuild says %v", name, repaired.Satisfiable(), want.Satisfiable())
+		}
+		if math.Float64bits(repaired.QualityBound()) != math.Float64bits(want.QualityBound()) {
+			t.Fatalf("engine %s: repaired bound %v, rebuild %v", name, repaired.QualityBound(), want.QualityBound())
+		}
+		for _, q := range queries {
+			w1, d1, err1 := repaired.Suggest(q)
+			w2, d2, err2 := want.Suggest(q)
+			if (err1 != nil) != (err2 != nil) || math.Float64bits(d1) != math.Float64bits(d2) {
+				t.Fatalf("engine %s q %v: repaired (%v,%v,%v) vs rebuild (%v,%v,%v)", name, q, w1, d1, err1, w2, d2, err2)
+			}
+			for j := range w2 {
+				if math.Float64bits(w1[j]) != math.Float64bits(w2[j]) {
+					t.Fatalf("engine %s q %v: repaired weights %v, rebuild %v (must be byte-identical)", name, q, w1, w2)
+				}
+			}
+		}
+		// Receiver untouched: same answers as before the repair.
+		for i, q := range queries {
+			w, dist, err := e.Suggest(q)
+			s := before[name][i]
+			if (err != nil) != s.err || math.Float64bits(dist) != math.Float64bits(s.dist) {
+				t.Fatalf("engine %s: Repair disturbed the receiver at %v", name, q)
+			}
+			for j := range s.w {
+				if math.Float64bits(w[j]) != math.Float64bits(s.w[j]) {
+					t.Fatalf("engine %s: Repair disturbed the receiver's weights at %v", name, q)
+				}
+			}
+		}
+	}
+}
+
+// Engines without retained build state must refuse to repair with
+// ErrRepairUnsupported — a decoded persisted stream for every engine, and a
+// PruneTopK-built grid index (pruning re-derives its candidate set from the
+// whole dataset, which no delta can patch).
+func TestConformancePatchableUnsupportedStates(t *testing.T) {
+	fx := buildFixture(t, 17)
+	delta := engine.Delta{Removed: []int{0}}
+	patched, err := dataset.Apply(fx.ds, dataset.Delta{Removed: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := fairness.MinShare(patched, "group", "protected", 0.2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range fx.engines {
+		var buf bytes.Buffer
+		if err := e.Persist(&buf); err != nil {
+			t.Fatalf("engine %s persist: %v", name, err)
+		}
+		var loaded engine.Engine
+		switch name {
+		case "2d":
+			idx, lerr := twod.LoadIndex(&buf)
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			loaded = twod.NewEngine(idx)
+		case "exact":
+			idx, lerr := core.LoadIndex(&buf, fx.ds, fx.oracle)
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			loaded = core.NewEngine(idx)
+		case "approx":
+			idx, lerr := cells.LoadIndex(&buf, fx.ds, fx.oracle)
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			loaded = cells.NewEngine(idx, false)
+		}
+		p, ok := loaded.(engine.Patchable)
+		if !ok {
+			t.Fatalf("decoded engine %s lost the Patchable interface", name)
+		}
+		if _, err := p.Repair(patched, oracle, delta); !errors.Is(err, engine.ErrRepairUnsupported) {
+			t.Fatalf("decoded engine %s: Repair err %v, want ErrRepairUnsupported", name, err)
+		}
+	}
+	pruned, err := cells.Preprocess(fx.ds, fx.oracle, 200, cells.Options{Seed: 17, PruneTopK: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cells.NewEngine(pruned, false).(engine.Patchable)
+	if _, err := p.Repair(patched, oracle, delta); !errors.Is(err, engine.ErrRepairUnsupported) {
+		t.Fatalf("PruneTopK grid index: Repair err %v, want ErrRepairUnsupported", err)
+	}
+}
+
+// Delta.Remap is the survivor map every repair kernel keys on; pin its
+// contract: monotone over survivors, -1 exactly at removals.
+func TestConformanceDeltaRemap(t *testing.T) {
+	d := engine.Delta{Removed: []int{1, 4}, Added: 3}
+	remap := d.Remap(6)
+	want := []int{0, -1, 1, 2, -1, 3}
+	for i, w := range want {
+		if remap[i] != w {
+			t.Fatalf("remap %v, want %v", remap, want)
+		}
+	}
+	if err := d.Validate(6, 7); err != nil {
+		t.Fatalf("valid delta rejected: %v", err)
+	}
+	for _, bad := range []engine.Delta{
+		{Removed: []int{4, 1}},
+		{Removed: []int{2, 2}},
+		{Removed: []int{6}},
+		{Added: -1},
+	} {
+		if err := bad.Validate(6, 6-len(bad.Removed)+bad.Added); err == nil {
+			t.Fatalf("invalid delta %+v accepted", bad)
+		}
+	}
+	if err := (engine.Delta{Added: 1}).Validate(6, 9); err == nil {
+		t.Fatal("inconsistent newN accepted")
 	}
 }

@@ -334,6 +334,58 @@ func (e *Entry) Rebuild() error {
 	return nil
 }
 
+// Patch derives a replacement engine from the currently serving one and
+// swaps it in — the incremental-repair counterpart of Rebuild. apply receives
+// the serving engine and returns its replacement; returning a nil engine with
+// a nil error is a no-op (the current engine keeps serving, no generation
+// bump, no cache flush). The call is synchronous: it claims the entry's
+// single build slot, so a patch racing a background rebuild waits for the
+// build to finish and then applies to the engine that won — apply must
+// therefore derive everything from the engine it is handed, not from state
+// captured before the call. On error the old engine keeps serving and the
+// error is returned. Queries never block: they keep hitting the old engine
+// until the atomic swap, exactly as during a rebuild.
+func (e *Entry) Patch(apply func(Engine) (Engine, error)) error {
+	for {
+		e.mu.Lock()
+		if e.done != nil {
+			done := e.done
+			e.mu.Unlock()
+			<-done // a build owns the slot; wait for its swap, then retry
+			continue
+		}
+		cur := e.engine.Load()
+		if cur == nil {
+			err := e.buildErr
+			e.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("%w: build failed: %v", ErrNotReady, err)
+			}
+			return ErrNotReady
+		}
+		done := make(chan struct{})
+		e.done = done
+		e.status = StatusRebuilding
+		e.mu.Unlock()
+
+		eng, err := apply(cur.e)
+		e.mu.Lock()
+		if err == nil && eng != nil {
+			// Same swap protocol as runBuild: engine before fresh cache, so a
+			// concurrent Suggest can never memoize a pre-patch answer into the
+			// post-patch generation.
+			e.engine.Store(&engineBox{e: eng})
+			e.generation.Add(1)
+			e.cache.Store(newSuggestCache())
+		}
+		e.status = StatusReady
+		e.done = nil
+		e.mu.Unlock()
+		close(done)
+		return err
+	}
+}
+
 // WaitReady blocks until the in-flight build (if any) completes or the
 // context is done, then reports the entry's readiness: nil when an engine is
 // serving, the build error or ErrNotReady otherwise.

@@ -1,0 +1,114 @@
+package twod
+
+import (
+	"fmt"
+	"math"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
+	"fairrank/internal/fairness"
+	"fairrank/internal/geom"
+)
+
+// Incremental repair of the 2D index. An item participates in O(n) ordering
+// exchanges, so a patch of c items invalidates O(c·n) of the O(n²) swept
+// exchanges: the retained ones keep their angles bit for bit (an exchange
+// angle is a function of the two item value vectors only), removals just
+// drop every exchange touching a removed item, and additions contribute
+// fresh pairs computed with the very arithmetic of the build's pair loop.
+// Merging retained and fresh exchanges reproduces the exact sorted list a
+// rebuild would enumerate — cmpExchange is a strict total order, so the
+// sorted sequence is unique — and re-running the sweep stage over it with
+// the patched dataset's oracle yields bit-identical intervals. The sweep
+// itself must re-run in full: an added item shifts the induced ordering in
+// every sector, so no sector's verdict is reusable; what repair saves is
+// the Θ(n²) pair enumeration (atan per pair) and the Θ(E log E) sort, both
+// of which shrink to O(c·n).
+
+// Repair returns a new index over the patched dataset whose answers are
+// byte-identical to RaySweep(ds, oracle, sameOptions). The receiver keeps
+// serving untouched. engine.ErrRepairUnsupported when the index was loaded
+// from a stream or built with PruneTopK (no retained exchanges).
+func (idx *Index) Repair(ds *dataset.Dataset, oracle fairness.Oracle, delta engine.Delta) (*Index, error) {
+	if !idx.repairable {
+		return nil, engine.ErrRepairUnsupported
+	}
+	if ds.D() != 2 {
+		return nil, fmt.Errorf("twod: patched dataset has %d scoring attributes, want 2", ds.D())
+	}
+	if err := delta.Validate(idx.n, ds.N()); err != nil {
+		return nil, err
+	}
+	remap := delta.Remap(idx.n)
+	retained := make([]Exchange, 0, len(idx.exchanges))
+	for _, e := range idx.exchanges {
+		i, j := remap[e.I], remap[e.J]
+		if i < 0 || j < 0 {
+			continue // touches a removed item
+		}
+		// The remap is monotone, so i < j still holds and the retained
+		// slice stays in cmpExchange order (theta unchanged, relative index
+		// order within equal thetas unchanged).
+		retained = append(retained, Exchange{Theta: e.Theta, I: i, J: j})
+	}
+	firstNew := idx.n - len(delta.Removed)
+	fresh := addedExchanges(ds, firstNew)
+	sortExchanges(fresh)
+	merged := mergeExchanges(retained, fresh)
+	out, err := sweepIndex(ds, oracle, merged, idx.buildOpts)
+	if err != nil {
+		return nil, err
+	}
+	out.exchanges = merged
+	out.n = ds.N()
+	out.buildOpts = idx.buildOpts
+	out.repairable = true
+	return out, nil
+}
+
+// addedExchanges enumerates the exchanges of every pair with at least one
+// endpoint in [firstNew, n) — the items the patch appended. The loop body is
+// the pair filter and angle arithmetic of exchangeAngles.buildRows verbatim,
+// so each produced Exchange is bit-identical to the one a rebuild computes
+// for the same pair.
+func addedExchanges(ds *dataset.Dataset, firstNew int) []Exchange {
+	n := ds.N()
+	const eps = geom.Eps
+	out := make([]Exchange, 0, (n-firstNew)*8)
+	for i := 0; i < n-1; i++ {
+		it := ds.Item(i)
+		xi, yi := it[0], it[1]
+		lo := firstNew
+		if i+1 > lo {
+			lo = i + 1
+		}
+		for j := lo; j < n; j++ {
+			jt := ds.Item(j)
+			dx, dy := xi-jt[0], yi-jt[1]
+			if dx >= -eps && dy >= -eps && (dx > eps || dy > eps) {
+				continue // i dominates j
+			}
+			if dx <= eps && dy <= eps && (dx < -eps || dy < -eps) {
+				continue // j dominates i
+			}
+			if math.Abs(dy) < eps {
+				continue // equal items (dominance already filtered Δy=0, Δx≠0)
+			}
+			r := -dx / dy
+			if r <= eps {
+				continue // exchange outside (0, π/2): same order everywhere
+			}
+			out = append(out, Exchange{Theta: math.Atan(r), I: i, J: j})
+		}
+	}
+	return out
+}
+
+// Repair implements engine.Patchable for the 2D adapter.
+func (e indexEngine) Repair(ds *dataset.Dataset, oracle fairness.Oracle, delta engine.Delta) (engine.Engine, error) {
+	idx, err := e.idx.Repair(ds, oracle, delta)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(idx), nil
+}

@@ -234,6 +234,17 @@ type Index struct {
 	OracleCalls int
 	// Sectors is the number of angular sectors examined.
 	Sectors int
+
+	// Retained build state for incremental repair (see Repair): the sorted
+	// exchange list the sweep ran over, the item count it was built for, and
+	// the build options. In-memory only — persisted indexes drop it, so a
+	// loaded index reports repairable == false and patches fall back to a
+	// rebuild. PruneTopK builds also drop it: the candidate set is a global
+	// property of the dataset that a delta can reshape arbitrarily.
+	exchanges  []Exchange
+	n          int
+	buildOpts  Options
+	repairable bool
 }
 
 // Options tunes RaySweep.
@@ -346,6 +357,24 @@ func RaySweep(ds *dataset.Dataset, oracle fairness.Oracle, opt Options) (*Index,
 		}
 		exchanges = kept
 	}
+	idx, err := sweepIndex(ds, oracle, exchanges, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.PruneTopK == 0 {
+		idx.exchanges = exchanges
+		idx.n = ds.N()
+		idx.buildOpts = opt
+		idx.repairable = true
+	}
+	return idx, nil
+}
+
+// sweepIndex is the sweep stage of RaySweep: it takes an already-sorted
+// exchange list (cmpExchange order) and runs the sector sweep over it,
+// serial or segmented. Split out so Repair can re-enter the pipeline with a
+// merged exchange list instead of a freshly enumerated one.
+func sweepIndex(ds *dataset.Dataset, oracle fairness.Oracle, exchanges []Exchange, opt Options) (*Index, error) {
 	counter := &fairness.Counter{O: oracle}
 	events := groupEvents(exchanges)
 	sectors := len(events) + 1

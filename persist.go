@@ -47,9 +47,14 @@ type indexHeader struct {
 // uses — set on every stream this build writes, absent on PR-2-era gob
 // stores, which still load (and are migrated on startup, see
 // Server.loadDesigner).
+// flagRevision marks a stream carrying the designer's revision fingerprint
+// (see Designer.Revision) as an 8-byte little-endian word between the header
+// and the engine payload; absent on streams written before datasets became
+// patchable, which load at the dataset's own fingerprint.
 const (
 	flagRefineQueries = 1 << 0
 	flagFlatPayload   = 1 << 1
+	flagRevision      = 1 << 2
 )
 
 // ErrCorruptIndex reports that a stream is not a fairrank index or was
@@ -119,8 +124,13 @@ func (d *Designer) SaveIndex(w io.Writer) error {
 	if d.refine {
 		flags |= flagRefineQueries
 	}
-	flags |= flagFlatPayload
+	flags |= flagFlatPayload | flagRevision
 	if err := writeIndexHeader(w, d.mode, d.ds, flags); err != nil {
+		return err
+	}
+	var rev [8]byte
+	binary.LittleEndian.PutUint64(rev[:], d.revision)
+	if _, err := w.Write(rev[:]); err != nil {
 		return err
 	}
 	return d.eng.Persist(w)
@@ -163,6 +173,23 @@ func IsLegacyIndexStream(b []byte) bool {
 	return flags&flagFlatPayload == 0
 }
 
+// indexPayloadOffset returns the byte offset of the engine payload in an
+// index stream: the fixed universal header plus the optional revision word.
+// Streams too short or foreign report the fixed header length — callers only
+// use the offset to align a resumable payload prefix, and the loader is the
+// authority on validity.
+func indexPayloadOffset(b []byte) int {
+	off := indexStreamHeaderLen
+	if len(b) >= indexStreamHeaderLen {
+		var magic [8]byte
+		copy(magic[:], b)
+		if magic == indexMagic && binary.LittleEndian.Uint32(b[20:24])&flagRevision != 0 {
+			off += 8
+		}
+	}
+	return off
+}
+
 // LoadDesigner reconstructs a designer of any engine mode from a SaveIndex
 // stream. ds and oracle must be the ones the index was built for: the
 // header's dataset fingerprint is checked (ErrDatasetMismatch), and damaged
@@ -178,6 +205,14 @@ func LoadDesigner(r io.Reader, ds *Dataset, oracle Oracle) (*Designer, error) {
 		return nil, err
 	}
 	refine := flags&flagRefineQueries != 0
+	revision := ds.Fingerprint()
+	if flags&flagRevision != 0 {
+		var rev [8]byte
+		if _, err := io.ReadFull(r, rev[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
+		}
+		revision = binary.LittleEndian.Uint64(rev[:])
+	}
 	format := engine.PayloadGob
 	if flags&flagFlatPayload != 0 {
 		format = engine.PayloadFlat
@@ -186,5 +221,5 @@ func LoadDesigner(r io.Reader, ds *Dataset, oracle Oracle) (*Designer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Designer{ds: ds, oracle: oracle, mode: mode, refine: refine, eng: eng}, nil
+	return &Designer{ds: ds, oracle: oracle, mode: mode, refine: refine, eng: eng, revision: revision}, nil
 }

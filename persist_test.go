@@ -308,17 +308,18 @@ func TestFlatHostileStreamsAllModes(t *testing.T) {
 			}
 
 			// Flip a byte inside every section checksum. Layout: universal
-			// header (40 bytes), flat header (24 bytes, section count at
-			// offset 16), then 24-byte table entries with the CRC at entry
-			// offset 12.
-			payload := good[40:]
+			// header (40 bytes) plus the 8-byte revision word, then the flat
+			// header (24 bytes, section count at offset 16), then 24-byte
+			// table entries with the CRC at entry offset 12.
+			hdr := indexPayloadOffset(good)
+			payload := good[hdr:]
 			nSections := int(binary.LittleEndian.Uint32(payload[16:20]))
 			if nSections == 0 {
 				t.Fatal("fixture produced no sections")
 			}
 			for i := 0; i < nSections; i++ {
 				bad := append([]byte(nil), good...)
-				bad[40+24+i*24+12] ^= 0xff
+				bad[hdr+24+i*24+12] ^= 0xff
 				if _, err := LoadDesigner(bytes.NewReader(bad), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
 					t.Fatalf("flipped CRC of section %d: got %v, want ErrCorruptIndex", i, err)
 				}
@@ -327,7 +328,7 @@ func TestFlatHostileStreamsAllModes(t *testing.T) {
 			// Wrong section counts: one too many, absurdly many, zero.
 			for _, count := range []uint32{uint32(nSections) + 1, 1 << 20, 0} {
 				bad := append([]byte(nil), good...)
-				binary.LittleEndian.PutUint32(bad[40+16:], count)
+				binary.LittleEndian.PutUint32(bad[hdr+16:], count)
 				if _, err := LoadDesigner(bytes.NewReader(bad), ds, oracle); !errors.Is(err, ErrCorruptIndex) {
 					t.Fatalf("section count %d: got %v, want ErrCorruptIndex", count, err)
 				}
@@ -335,7 +336,7 @@ func TestFlatHostileStreamsAllModes(t *testing.T) {
 
 			// Flip every byte of the first slab's data (past the table): the
 			// CRC must catch each one.
-			dataStart := 40 + 24 + nSections*24
+			dataStart := hdr + 24 + nSections*24
 			end := min(dataStart+64, len(good))
 			for i := dataStart; i < end; i++ {
 				bad := append([]byte(nil), good...)
@@ -488,8 +489,8 @@ func TestHandoffResumeStitching(t *testing.T) {
 		// The stream broke after cut bytes: keep up to the last complete
 		// section boundary, exactly like fetchIndexResumable.
 		keep := 0
-		if cut > indexStreamHeaderLen {
-			keep = indexStreamHeaderLen + flatidx.CompletePrefix(good[indexStreamHeaderLen:cut])
+		if hdr := indexPayloadOffset(good); cut > hdr {
+			keep = hdr + flatidx.CompletePrefix(good[hdr:cut])
 		}
 		var rest bytes.Buffer
 		if err := d.SaveIndex(&skipWriter{w: &rest, skip: int64(keep)}); err != nil {

@@ -144,6 +144,16 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	p.Summary("fairrank_handoff_seconds", "Wall time of index transfers (fetch + load).",
 		float64(st.HandoffNsTotal)/1e9, st.HandoffPulls+st.HandoffPushes)
 
+	p.Counter("fairrank_patch_total", "Dataset patches applied on this node.",
+		float64(s.patchTotal.Load()))
+	p.Counter("fairrank_patch_designer_total", "Designer indexes spliced incrementally by a dataset patch.",
+		float64(s.patchRepairs.Load()), "path", "repair")
+	p.Counter("fairrank_patch_designer_total", "Designer indexes rebuilt by a dataset patch (churn above threshold, or no retained build state).",
+		float64(s.patchRebuilds.Load()), "path", "rebuild")
+	repairCounts, repairSum := s.patchDur.snapshot()
+	p.Histogram("fairrank_patch_repair_seconds", "Latency of incremental index repairs (rebuild fallbacks excluded).",
+		patchBoundsSec, repairCounts, repairSum)
+
 	p.Gauge("fairrank_replica_factor", "Effective read replicas per designer (gossiped -replicas value).",
 		float64(s.replicaFactor()))
 	p.Counter("fairrank_replica_pushes_total", "Sealed indexes pushed to followers by owners on this node.",

@@ -29,7 +29,7 @@ workdir="$(mktemp -d)"
 bin="${workdir}/fairrankd"
 
 cleanup() {
-  for p in "${pid0:-}" "${pid1:-}" "${pid2:-}" "${pid3:-}" "${pid4:-}" "${pid5:-}" "${traffic_pid:-}"; do
+  for p in "${pid0:-}" "${pid1:-}" "${pid2:-}" "${pid3:-}" "${pid4:-}" "${pid5:-}" "${traffic_pid:-}" "${patch_traffic_pid:-}"; do
     if [[ -n "$p" ]] && kill -0 "$p" 2>/dev/null; then
       kill -9 "$p" 2>/dev/null || true
     fi
@@ -127,8 +127,20 @@ for b in "$base0" "$base1"; do
   echo "$metrics" | grep -q '^fairrank_handoff_pulls_total' \
     || { echo "no handoff series in ${b}/metrics?format=prometheus" >&2; exit 1; }
 done
-curl -fs "${base1}/metrics?format=prometheus" \
-  | grep -q '^fairrank_suggest_latency_seconds_bucket{designer="smoke-designer-0",le="+Inf"}' \
+# Polled: right after startup the designer may still be serving from its
+# creator while ownership settles on node-1, so give the owner a moment to
+# record its first served queries before requiring the histogram.
+hist_ok=0
+for _ in $(seq 1 100); do
+  curl -fs -X POST "${base1}/v1/designers/smoke-designer-0/suggest" \
+    -H 'Content-Type: application/json' -d "$query" >/dev/null
+  if curl -fs "${base1}/metrics?format=prometheus" \
+    | grep -q '^fairrank_suggest_latency_seconds_bucket{designer="smoke-designer-0",le="+Inf"}'; then
+    hist_ok=1; break
+  fi
+  sleep 0.1
+done
+[[ "$hist_ok" == "1" ]] \
   || { echo "owner exposes no latency histogram for smoke-designer-0" >&2; exit 1; }
 echo "== Prometheus exposition serves gossip, handoff, and latency series"
 
@@ -139,6 +151,97 @@ curl -fs -X POST "${base0}/v1/designers/smoke-designer-0/suggest" \
 curl -fs "${base0}/debug/traces?id=smoke-trace-1" | jq -e '.traces | length == 1' >/dev/null \
   || { echo "trace smoke-trace-1 not recorded on node-0" >&2; exit 1; }
 echo "== request trace recorded under the caller's id"
+
+# ── Patch stage ───────────────────────────────────────────────────────────
+# Mutate a dedicated dataset under live suggest traffic. The PATCH (sent to
+# node-1, not the creator) must return the chained revision, the serving
+# index must be spliced by incremental repair — churn 2/8 is under the
+# designer's 0.5 threshold, so a rebuild is a failure — every in-flight
+# answer must stay well-formed, and both nodes must converge to identical
+# answers over the patched data.
+echo "== patch stage: dataset mutation under live traffic"
+curl -fs -X POST "${base0}/v1/datasets" -H 'Content-Type: application/json' -d '{
+  "id": "smoke-mut",
+  "dataset": {
+    "scoring": ["merit", "impact"],
+    "rows": [[1.00, 0.91], [0.93, 1.02], [0.88, 0.97], [0.96, 0.84],
+             [0.41, 0.33], [0.28, 0.44], [0.36, 0.21], [0.19, 0.30]],
+    "types": [{"name": "group",
+               "labels": ["protected", "other"],
+               "values": [0, 0, 0, 0, 1, 1, 1, 1]}]
+  }
+}' >/dev/null
+curl -fs -X POST "${base0}/v1/designers?wait=true" -H 'Content-Type: application/json' -d '{
+  "id": "mut-designer",
+  "spec": {
+    "dataset": "smoke-mut",
+    "oracle": {"kind": "min_share", "attr": "group", "group": "protected",
+               "top_frac": 0.5, "share": 0.25},
+    "config": {"mode": "2d", "repair_churn_frac": 0.5}
+  }
+}' | grep -q '"status":"ready"'
+
+patch_traffic="${workdir}/patch-traffic.log"
+( while :; do
+    curl -fs -m 2 -X POST "${base0}/v1/designers/mut-designer/suggest" \
+      -H 'Content-Type: application/json' -d "$query" >>"$patch_traffic" 2>/dev/null || true
+    echo >>"$patch_traffic"
+    sleep 0.02
+  done ) &
+patch_traffic_pid=$!
+
+patch_body='{"remove": [0], "add": [{"row": [0.97, 0.88], "types": {"group": "protected"}}]}'
+patch_res=""
+for _ in $(seq 1 100); do
+  if patch_res="$(curl -fs -X PATCH "${base1}/v1/datasets/smoke-mut" \
+      -H 'Content-Type: application/json' -d "$patch_body")"; then break; fi
+  sleep 0.1
+done
+echo "$patch_res" | jq -e '.revision != null and .n == 8' >/dev/null \
+  || { echo "unexpected PATCH response: ${patch_res}" >&2; exit 1; }
+echo "== patch stage: PATCH applied via node-1 (revision $(echo "$patch_res" | jq -r .revision))"
+
+sleep 1  # keep traffic overlapping the splice
+kill -9 "$patch_traffic_pid" 2>/dev/null || true
+wait "$patch_traffic_pid" 2>/dev/null || true
+if grep -v -e '^$' "$patch_traffic" | grep -v '"distance"' | grep -q .; then
+  echo "traffic saw a malformed answer during the patch:" >&2
+  grep -v -e '^$' "$patch_traffic" | grep -v '"distance"' | head -3 >&2
+  exit 1
+fi
+grep -q '"distance"' "$patch_traffic" \
+  || { echo "no suggest answer flowed during the patch" >&2; exit 1; }
+
+patched_total="$(curl -fs "${base1}/metrics?format=prometheus" \
+  | awk '/^fairrank_patch_total/ {print $2}')"
+[[ -n "$patched_total" && "$patched_total" != "0" ]] \
+  || { echo "fairrank_patch_total is ${patched_total:-missing} on node-1" >&2; exit 1; }
+repair_line='patch: designer \\"mut-designer\\" index repaired in place'
+repair_seen=0
+for _ in $(seq 1 100); do
+  if grep -q "$repair_line" "${workdir}/node0.log" "${workdir}/node1.log"; then repair_seen=1; break; fi
+  sleep 0.1
+done
+[[ "$repair_seen" == "1" ]] \
+  || { echo "no node repaired mut-designer in place" >&2
+       cat "${workdir}/node0.log" "${workdir}/node1.log" >&2; exit 1; }
+if grep -q 'patch: designer \\"mut-designer\\" rebuilt' "${workdir}/node0.log" "${workdir}/node1.log"; then
+  echo "mut-designer was rebuilt instead of repaired" >&2
+  exit 1
+fi
+
+pa=""; pb=""
+for _ in $(seq 1 100); do
+  pa="$(curl -fs -X POST "${base0}/v1/designers/mut-designer/suggest" \
+    -H 'Content-Type: application/json' -d "$query" || true)"
+  pb="$(curl -fs -X POST "${base1}/v1/designers/mut-designer/suggest" \
+    -H 'Content-Type: application/json' -d "$query" || true)"
+  [[ -n "$pa" && "$pa" == "$pb" ]] && break
+  sleep 0.1
+done
+[[ -n "$pa" && "$pa" == "$pb" ]] \
+  || { echo "post-patch answers diverge: ${pa} vs ${pb}" >&2; exit 1; }
+echo "== patch stage passed: repaired in place under live traffic, answers converged"
 
 echo "== joining node-2 at runtime (:${port2})"
 "$bin" -addr "127.0.0.1:${port2}" -node-id node-2 -shards 2 \

@@ -47,6 +47,23 @@ type Server struct {
 	specs    map[string]DesignerSpec
 	pulling  map[string]bool // designer ids with an index handoff/build in flight
 
+	// Dataset mutability (server_patch.go). datasetRevs chains each dataset's
+	// revision fingerprint through every applied patch, seeded with the
+	// dataset's content fingerprint (under mu); patchMu serializes
+	// PatchDataset so concurrent patches chain on one lineage instead of
+	// forking it; repairBusy coalesces reconcile's detect-and-patch sweeps.
+	datasetRevs map[string]uint64
+	patchMu     sync.Mutex
+	repairBusy  atomic.Bool
+
+	// Patch metrics (prom.go): datasets patched on this node, designer
+	// indexes spliced incrementally vs rebuilt, and the repair latency
+	// histogram.
+	patchTotal    atomic.Int64
+	patchRepairs  atomic.Int64
+	patchRebuilds atomic.Int64
+	patchDur      patchHist
+
 	// Read replication (docs/REPLICATION.md). replicas holds the sealed index
 	// copies this node keeps as a follower; replicaK is the effective
 	// replication factor (the -replicas flag, superseded by the gossiped
@@ -181,6 +198,7 @@ func NewClusterServer(cfg ClusterConfig) (*Server, error) {
 		router:      router,
 		meta:        cluster.NewMetaStore(),
 		datasets:    make(map[string]*Dataset),
+		datasetRevs: make(map[string]uint64),
 		specs:       make(map[string]DesignerSpec),
 		pulling:     make(map[string]bool),
 		replicas:    service.NewReplicaStore(),
@@ -378,8 +396,11 @@ func (s *Server) AddDataset(id string, ds *Dataset) error {
 		return fmt.Errorf("%w: dataset %q", ErrDuplicateID, id)
 	}
 	s.datasets[id] = ds
+	s.datasetRevs[id] = ds.Fingerprint()
 	s.mu.Unlock()
-	payload, err := json.Marshal(SpecOfDataset(ds))
+	spec := SpecOfDataset(ds)
+	spec.Revision = ds.Fingerprint()
+	payload, err := json.Marshal(spec)
 	if err != nil {
 		return err
 	}
@@ -393,6 +414,22 @@ func (s *Server) Dataset(id string) (*Dataset, bool) {
 	defer s.mu.RUnlock()
 	ds, ok := s.datasets[id]
 	return ds, ok
+}
+
+// DatasetRevision returns a dataset's revision fingerprint: its content
+// fingerprint at registration, chained through every applied patch
+// (ChainRevision). Two nodes report the same revision exactly when they saw
+// the same patch lineage.
+func (s *Server) DatasetRevision(id string) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rev, ok := s.datasetRevs[id]
+	if !ok {
+		if ds, has := s.datasets[id]; has {
+			return ds.Fingerprint(), true
+		}
+	}
+	return rev, ok
 }
 
 // CreateDesigner registers a designer and — when this node owns it on the
@@ -499,14 +536,18 @@ func (s *Server) DeleteDesigner(id string) error {
 }
 
 // builder resolves a spec into the closure the registry runs for the initial
-// build and every drift-triggered rebuild.
+// build and every drift-triggered rebuild. The dataset and oracle are
+// validated eagerly — creates fail fast on dangling references and malformed
+// specs — but re-resolved inside the closure: datasets are mutable through
+// PatchDataset, and a rebuild (drift loop, patch fallback, spec change) must
+// build over the dataset as it is at build time, not as it was when the
+// designer was created.
 func (s *Server) builder(spec DesignerSpec) (service.BuildFunc, error) {
 	ds, ok := s.Dataset(spec.Dataset)
 	if !ok {
 		return nil, fmt.Errorf("%w: dataset %q", ErrUnknownID, spec.Dataset)
 	}
-	oracle, err := spec.Oracle.Build(ds)
-	if err != nil {
+	if _, err := spec.Oracle.Build(ds); err != nil {
 		return nil, err
 	}
 	cfg, err := spec.Config.Build()
@@ -514,6 +555,14 @@ func (s *Server) builder(spec DesignerSpec) (service.BuildFunc, error) {
 		return nil, err
 	}
 	return func() (service.Engine, error) {
+		ds, ok := s.Dataset(spec.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("%w: dataset %q", ErrUnknownID, spec.Dataset)
+		}
+		oracle, err := spec.Oracle.Build(ds)
+		if err != nil {
+			return nil, err
+		}
 		d, err := NewDesigner(ds, oracle, cfg)
 		if err != nil {
 			return nil, err
@@ -798,7 +847,11 @@ func (s *Server) SaveDir(dir string) error {
 	}
 	for _, id := range s.DatasetIDs() {
 		ds, _ := s.Dataset(id)
-		if err := writeJSONFile(filepath.Join(dir, id+".dataset.json"), SpecOfDataset(ds)); err != nil {
+		spec := SpecOfDataset(ds)
+		if rev, ok := s.DatasetRevision(id); ok {
+			spec.Revision = rev
+		}
+		if err := writeJSONFile(filepath.Join(dir, id+".dataset.json"), spec); err != nil {
 			return err
 		}
 	}
@@ -896,6 +949,17 @@ func (s *Server) LoadDir(dir string) error {
 		if err := s.AddDataset(id, ds); err != nil {
 			return err
 		}
+		if spec.Revision != 0 && spec.Revision != ds.Fingerprint() {
+			// The dataset was patched before the save: restore the revision
+			// lineage (AddDataset seeded the content fingerprint) and re-record
+			// the spec so the replicated entry carries it too.
+			s.mu.Lock()
+			s.datasetRevs[id] = spec.Revision
+			s.mu.Unlock()
+			if payload, merr := json.Marshal(spec); merr == nil {
+				s.meta.Put(metaKeyDataset(id), payload)
+			}
+		}
 	}
 	for _, e := range entries {
 		id, ok := strings.CutSuffix(e.Name(), ".designer.json")
@@ -966,6 +1030,13 @@ func (s *Server) loadDesigner(dir, id string, spec DesignerSpec) error {
 			d, oerr = LoadDesigner(bytes.NewReader(raw), ds, oracle)
 		}
 		if oerr == nil {
+			// Re-arm the loaded designer with its build configuration so a
+			// later PatchDataset can honor its churn threshold (a loaded index
+			// has no retained build state, so its first patch rebuilds either
+			// way — but with the right Config, not the zero value).
+			if cfg, cerr := spec.Config.Build(); cerr == nil {
+				d.RestoreConfig(cfg)
+			}
 			// Auto-migrate: a store in the PR-2 gob format is re-saved flat
 			// right after it loads, so the slow decode is paid exactly once
 			// per store, not on every restart.

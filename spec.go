@@ -18,6 +18,13 @@ type DatasetSpec struct {
 	Scoring []string       `json:"scoring"`
 	Rows    [][]float64    `json:"rows"`
 	Types   []TypeAttrSpec `json:"types,omitempty"`
+	// Revision is the dataset's revision fingerprint: the content fingerprint
+	// at registration, chained through every applied patch (ChainRevision).
+	// It rides along in the replicated metadata and the data-dir manifests so
+	// every node agrees on the patch lineage, not just the current bytes;
+	// 0 — specs written before datasets became patchable — means "the content
+	// fingerprint".
+	Revision uint64 `json:"revision,omitempty"`
 }
 
 // TypeAttrSpec is one categorical attribute of a DatasetSpec.
@@ -152,6 +159,11 @@ type ConfigSpec struct {
 	CellRegionCap          int    `json:"cell_region_cap,omitempty"`
 	Workers                int    `json:"workers,omitempty"`
 	RefineQueries          bool   `json:"refine_queries,omitempty"`
+	// RepairChurnFrac bounds how large a dataset patch (removals plus
+	// additions, as a fraction of the pre-patch item count) may be spliced
+	// into this designer's index incrementally; larger deltas rebuild. 0
+	// picks DefaultRepairChurnFrac, negative disables incremental repair.
+	RepairChurnFrac float64 `json:"repair_churn_frac,omitempty"`
 }
 
 // Build materializes the Config.
@@ -165,6 +177,7 @@ func (s ConfigSpec) Build() (Config, error) {
 		CellRegionCap:          s.CellRegionCap,
 		Workers:                s.Workers,
 		RefineQueries:          s.RefineQueries,
+		RepairChurnFrac:        s.RepairChurnFrac,
 	}
 	switch s.Mode {
 	case "", "auto":
